@@ -1,0 +1,318 @@
+// Package basil is the public API of this Basil reproduction: a
+// leaderless, transactional, Byzantine fault-tolerant key-value store
+// (Suri-Payer et al., SOSP 2021).
+//
+// A Cluster wires s shards of n = 5f+1 replicas over a transport; Clients
+// run interactive serializable transactions against it:
+//
+//	cl := basil.NewCluster(basil.Options{F: 1, Shards: 1})
+//	defer cl.Close()
+//	c := cl.NewClient()
+//	err := c.Run(func(tx *basil.Txn) error {
+//	    v, _ := tx.Read("balance")
+//	    tx.Write("balance", next(v))
+//	    return nil
+//	})
+//
+// The store guarantees Byzantine serializability (correct clients observe
+// a serializable history producible by correct participants alone) and
+// Byzantine independence (no group of only-Byzantine participants decides
+// the outcome of a correct client's transaction).
+package basil
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/replica"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ErrAborted is returned by Txn.Commit when the transaction failed
+// serializability validation; the application may retry.
+var ErrAborted = client.ErrAborted
+
+// ErrTimeout is returned when a protocol phase starved even after
+// recovery (severe partition or overload).
+var ErrTimeout = client.ErrTimeout
+
+// Options configures a Cluster. The zero value is completed with sane
+// defaults by NewCluster.
+type Options struct {
+	// F is the per-shard fault threshold; each shard runs 5F+1 replicas.
+	// Default 1.
+	F int
+	// Shards is the number of data shards. Default 1.
+	Shards int
+	// NoSignatures disables all signing/verification (the paper's
+	// Basil-NoProofs ablation, Fig. 5a).
+	NoSignatures bool
+	// BatchSize is the reply-signature batch size b (paper §4.4, Fig 6b).
+	// Default 1 (no batching).
+	BatchSize int
+	// BatchDelay bounds how long a partial batch may wait. Default 500µs.
+	BatchDelay time.Duration
+	// DeltaMicros is the timestamp admission bound δ. Default 60s.
+	DeltaMicros uint64
+	// ReadWait is how many read replies a client needs: 1, F+1 (default)
+	// or 2F+1 (Fig. 5b).
+	ReadWait int
+	// DisableFastPath forces ST2 logging on every commit (Fig. 6a NoFP).
+	DisableFastPath bool
+	// FastPathWait bounds the extra wait for fast-path unanimity.
+	FastPathWait time.Duration
+	// PhaseTimeout bounds each protocol phase before recovery kicks in.
+	PhaseTimeout time.Duration
+	// RetryTimeout bounds a whole commit attempt.
+	RetryTimeout time.Duration
+	// ShardOf overrides key placement (default: FNV-1a hash mod Shards).
+	ShardOf func(key string) int32
+	// Clock overrides the time source (tests inject skewed clocks).
+	Clock clock.Clock
+	// Seed makes key generation deterministic. Default 1.
+	Seed int64
+	// Net overrides the transport (default: in-process Local network).
+	Net *transport.Local
+	// ReplicaByzantine, if set, installs a misbehavior strategy on the
+	// selected replicas. Used by the fault-injection harness.
+	ReplicaByzantine func(shard, index int32) replica.ByzantineStrategy
+	// AllowUnvalidatedST2 disables replica-side ST2 tally validation.
+	// Test/experiment use only: it models the paper's "equiv-forced"
+	// scenario where clients are artificially allowed to equivocate.
+	AllowUnvalidatedST2 bool
+}
+
+func (o *Options) withDefaults() {
+	if o.F <= 0 {
+		o.F = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.BatchDelay <= 0 {
+		o.BatchDelay = 500 * time.Microsecond
+	}
+	if o.DeltaMicros == 0 {
+		o.DeltaMicros = 60_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Real{}
+	}
+	if o.ShardOf == nil {
+		shards := int32(o.Shards)
+		o.ShardOf = func(key string) int32 {
+			h := fnv.New32a()
+			h.Write([]byte(key))
+			return int32(h.Sum32() % uint32(shards))
+		}
+	}
+}
+
+// Cluster is a running Basil deployment: Shards×(5F+1) replicas attached
+// to one transport, plus the key registry all parties verify against.
+type Cluster struct {
+	opts     Options
+	net      *transport.Local
+	ownNet   bool
+	registry *cryptoutil.Registry
+	replicas [][]*replica.Replica // [shard][index]
+	signerOf quorum.SignerOf
+	nextCli  atomic.Int32
+	clients  []*Client
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(opts Options) *Cluster {
+	opts.withDefaults()
+	n := 5*opts.F + 1
+	net := opts.Net
+	own := false
+	if net == nil {
+		net = transport.NewLocal()
+		own = true
+	}
+	reg := cryptoutil.NewRegistry(schemeOf(opts), opts.Shards*n, opts.Seed)
+	signerOf := func(shard, idx int32) int32 { return shard*int32(n) + idx }
+	c := &Cluster{
+		opts: opts, net: net, ownNet: own, registry: reg, signerOf: signerOf,
+		replicas: make([][]*replica.Replica, opts.Shards),
+	}
+	for s := 0; s < opts.Shards; s++ {
+		c.replicas[s] = make([]*replica.Replica, n)
+		for i := 0; i < n; i++ {
+			cfg := replica.Config{
+				Shard: int32(s), Index: int32(i), F: opts.F,
+				DeltaMicros: opts.DeltaMicros,
+				BatchSize:   opts.BatchSize, BatchDelay: opts.BatchDelay,
+				Clock: opts.Clock, Registry: reg,
+				SignerID: signerOf(int32(s), int32(i)), SignerOf: signerOf,
+				Net:                 net,
+				AllowUnvalidatedST2: opts.AllowUnvalidatedST2,
+			}
+			if opts.ReplicaByzantine != nil {
+				cfg.Byzantine = opts.ReplicaByzantine(int32(s), int32(i))
+			}
+			c.replicas[s][i] = replica.New(cfg)
+		}
+	}
+	return c
+}
+
+func schemeOf(o Options) cryptoutil.Scheme {
+	if o.NoSignatures {
+		return cryptoutil.SchemeNone
+	}
+	return cryptoutil.SchemeEd25519
+}
+
+// Load installs a key's initial value on its shard (genesis version,
+// outside the protocol). Call before serving traffic.
+func (c *Cluster) Load(key string, value []byte) {
+	s := c.opts.ShardOf(key)
+	for _, r := range c.replicas[s] {
+		r.LoadGenesis(key, value)
+	}
+}
+
+// NewClient attaches a new client to the cluster.
+func (c *Cluster) NewClient() *Client {
+	id := c.nextCli.Add(1)
+	inner := client.New(client.Config{
+		ID: id, F: c.opts.F, NumShards: int32(c.opts.Shards),
+		ShardOf: c.opts.ShardOf, Clock: c.opts.Clock,
+		Registry: c.registry, SignerOf: c.signerOf, Net: c.net,
+		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
+		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
+		RetryTimeout: c.opts.RetryTimeout,
+	})
+	cl := &Client{inner: inner}
+	c.clients = append(c.clients, cl)
+	return cl
+}
+
+// NewClientWithClock attaches a client that uses its own clock — used by
+// tests to model clock skew between a client and the replicas (δ bound).
+func (c *Cluster) NewClientWithClock(clk clock.Clock) *Client {
+	id := c.nextCli.Add(1)
+	inner := client.New(client.Config{
+		ID: id, F: c.opts.F, NumShards: int32(c.opts.Shards),
+		ShardOf: c.opts.ShardOf, Clock: clk,
+		Registry: c.registry, SignerOf: c.signerOf, Net: c.net,
+		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
+		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
+		RetryTimeout: c.opts.RetryTimeout,
+	})
+	cl := &Client{inner: inner}
+	c.clients = append(c.clients, cl)
+	return cl
+}
+
+// Replica exposes a replica for inspection or fault injection in tests.
+func (c *Cluster) Replica(shard, index int) *replica.Replica {
+	return c.replicas[shard][index]
+}
+
+// ReplicaCount returns replicas per shard (5F+1).
+func (c *Cluster) ReplicaCount() int { return 5*c.opts.F + 1 }
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.opts.Shards }
+
+// Net exposes the transport for policy injection (latency, partitions).
+func (c *Cluster) Net() *transport.Local { return c.net }
+
+// Close flushes replicas and stops the transport (if owned).
+func (c *Cluster) Close() {
+	for _, shard := range c.replicas {
+		for _, r := range shard {
+			r.Close()
+		}
+	}
+	if c.ownNet {
+		c.net.Close()
+	}
+}
+
+// Client is a Basil client handle. Use one per concurrent actor.
+type Client struct {
+	inner *client.Client
+}
+
+// Txn is one interactive transaction: reads reach replicas, writes buffer
+// locally until Commit.
+type Txn struct {
+	inner *client.Txn
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Txn { return &Txn{inner: c.inner.Begin()} }
+
+// Stats exposes client protocol counters.
+func (c *Client) Stats() *client.Stats { return &c.inner.Stats }
+
+// Inner exposes the internal client to the benchmark harness and fault
+// injectors; applications should not need it.
+func (c *Client) Inner() *client.Client { return c.inner }
+
+// Run executes fn inside a transaction, retrying serialization aborts
+// with exponential backoff (the paper's closed-loop client behavior).
+// fn may return ErrAborted itself to force a retry.
+func (c *Client) Run(fn func(tx *Txn) error) error {
+	backoff := 200 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		tx := c.Begin()
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) && !errors.Is(err, ErrTimeout) {
+			return err
+		}
+		if attempt > 50 {
+			return fmt.Errorf("basil: transaction starved after %d attempts: %w", attempt, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 20*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Read returns key's value at the transaction's snapshot timestamp.
+func (t *Txn) Read(key string) ([]byte, error) { return t.inner.Read(key) }
+
+// Write buffers a write, visible to others only after Commit.
+func (t *Txn) Write(key string, value []byte) { t.inner.Write(key, value) }
+
+// Commit validates and commits; returns ErrAborted on conflicts.
+func (t *Txn) Commit() error { return t.inner.Commit() }
+
+// Abort abandons the transaction.
+func (t *Txn) Abort() { t.inner.Abort() }
+
+// Inner exposes the internal transaction for the fault harness.
+func (t *Txn) Inner() *client.Txn { return t.inner }
+
+// Meta returns the transaction's metadata snapshot (read set with observed
+// versions, write set, participant shards). The verification harness uses
+// it to rebuild committed histories.
+func (t *Txn) Meta() *types.TxMeta { return t.inner.MetaSnapshot() }

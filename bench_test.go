@@ -1,0 +1,257 @@
+// Package repro's root benchmarks regenerate each evaluation figure as a
+// testing.B target (one bench family per table/figure; see DESIGN.md's
+// experiment index). Benchmarks drive a single closed-loop session through
+// a freshly populated cluster and report tx/s; the multi-client peak
+// numbers come from cmd/basil-bench.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/basil"
+	"repro/internal/benchharness"
+	"repro/internal/client"
+	"repro/internal/txbase"
+	"repro/internal/workload"
+)
+
+// drive runs b.N transactions of gen through one session of sys.
+func drive(b *testing.B, sys benchharness.System, gen workload.Generator) {
+	b.Helper()
+	sess := sys.NewSession()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	committed := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		fn := gen.Next(rng)
+		for {
+			tx := sess.Begin()
+			err := fn.Body(tx)
+			if err == nil {
+				err = tx.Commit()
+			} else {
+				tx.Abort()
+			}
+			if err == nil {
+				committed++
+				break
+			}
+			if errors.Is(err, workload.ErrWorkloadAbort) {
+				break
+			}
+		}
+	}
+	b.StopTimer()
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(committed)/elapsed, "tx/s")
+	}
+}
+
+func smallGen(kind string) workload.Generator {
+	switch kind {
+	case "tpcc":
+		return workload.NewTPCC(workload.TPCCConfig{
+			Warehouses: 2, Districts: 4, CustomersPer: 40, Items: 200, StockOrders: 2,
+		})
+	case "smallbank":
+		return workload.NewSmallbank(workload.SmallbankConfig{Accounts: 10_000})
+	case "retwis":
+		return workload.NewRetwis(workload.RetwisConfig{Users: 1_000})
+	case "rwz":
+		return workload.NewYCSB(workload.YCSBConfig{Keys: 10_000, ReadOps: 2, WriteOps: 2, Theta: 0.9})
+	default: // rwu
+		return workload.NewYCSB(workload.YCSBConfig{Keys: 10_000, ReadOps: 2, WriteOps: 2})
+	}
+}
+
+// --- Figure 4a/4b: application workloads across all four systems ---
+
+func benchFig4(b *testing.B, wl string, mk func(gen workload.Generator) benchharness.System) {
+	gen := smallGen(wl)
+	sys := mk(gen)
+	defer sys.Close()
+	drive(b, sys, gen)
+}
+
+func mkBasil(opts basil.Options) func(workload.Generator) benchharness.System {
+	return func(gen workload.Generator) benchharness.System {
+		return benchharness.NewBasil(gen, opts)
+	}
+}
+
+func mkTapir(gen workload.Generator) benchharness.System { return benchharness.NewTapir(gen, 1) }
+
+func mkTxBase(kind txbase.Kind) func(workload.Generator) benchharness.System {
+	return func(gen workload.Generator) benchharness.System {
+		return benchharness.NewTxBase(gen, kind, 1)
+	}
+}
+
+func BenchmarkFig4a_TPCC_Tapir(b *testing.B) { benchFig4(b, "tpcc", mkTapir) }
+func BenchmarkFig4a_TPCC_Basil(b *testing.B) {
+	benchFig4(b, "tpcc", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 4}))
+}
+func BenchmarkFig4a_TPCC_TxHotstuff(b *testing.B) {
+	benchFig4(b, "tpcc", mkTxBase(txbase.KindHotStuff))
+}
+func BenchmarkFig4a_TPCC_TxBFTSmart(b *testing.B) { benchFig4(b, "tpcc", mkTxBase(txbase.KindPBFT)) }
+
+func BenchmarkFig4a_Smallbank_Tapir(b *testing.B) { benchFig4(b, "smallbank", mkTapir) }
+func BenchmarkFig4a_Smallbank_Basil(b *testing.B) {
+	benchFig4(b, "smallbank", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16}))
+}
+func BenchmarkFig4a_Smallbank_TxHotstuff(b *testing.B) {
+	benchFig4(b, "smallbank", mkTxBase(txbase.KindHotStuff))
+}
+func BenchmarkFig4a_Smallbank_TxBFTSmart(b *testing.B) {
+	benchFig4(b, "smallbank", mkTxBase(txbase.KindPBFT))
+}
+
+func BenchmarkFig4a_Retwis_Tapir(b *testing.B) { benchFig4(b, "retwis", mkTapir) }
+func BenchmarkFig4a_Retwis_Basil(b *testing.B) {
+	benchFig4(b, "retwis", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16}))
+}
+func BenchmarkFig4a_Retwis_TxHotstuff(b *testing.B) {
+	benchFig4(b, "retwis", mkTxBase(txbase.KindHotStuff))
+}
+func BenchmarkFig4a_Retwis_TxBFTSmart(b *testing.B) {
+	benchFig4(b, "retwis", mkTxBase(txbase.KindPBFT))
+}
+
+// Fig 4b (latency at peak) reuses the same runs; the per-op ns/op the
+// benchmarks above report IS the single-session commit latency.
+
+// --- Figure 5a: signatures vs none ---
+
+func BenchmarkFig5a_RWU_Basil(b *testing.B) {
+	benchFig4(b, "rwu", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16}))
+}
+func BenchmarkFig5a_RWU_NoProofs(b *testing.B) {
+	benchFig4(b, "rwu", mkBasil(basil.Options{F: 1, Shards: 1, NoSignatures: true}))
+}
+func BenchmarkFig5a_RWZ_Basil(b *testing.B) {
+	benchFig4(b, "rwz", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16}))
+}
+func BenchmarkFig5a_RWZ_NoProofs(b *testing.B) {
+	benchFig4(b, "rwz", mkBasil(basil.Options{F: 1, Shards: 1, NoSignatures: true}))
+}
+
+// --- Figure 5b: read quorum sizes on a read-only workload ---
+
+func benchFig5b(b *testing.B, wait int) {
+	gen := workload.ReadOnlyYCSB(10_000, 24)
+	sys := benchharness.NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 16, ReadWait: wait})
+	defer sys.Close()
+	drive(b, sys, gen)
+}
+
+func BenchmarkFig5b_ReadQuorum1(b *testing.B)   { benchFig5b(b, 1) }
+func BenchmarkFig5b_ReadQuorumF1(b *testing.B)  { benchFig5b(b, 2) }
+func BenchmarkFig5b_ReadQuorum2F1(b *testing.B) { benchFig5b(b, 3) }
+
+// --- Figure 5c: shard scaling ---
+
+func benchFig5c(b *testing.B, shards int, noSigs bool) {
+	gen := workload.NewYCSB(workload.YCSBConfig{Keys: 10_000, ReadOps: 3, WriteOps: 3})
+	sys := benchharness.NewBasil(gen, basil.Options{
+		F: 1, Shards: shards, BatchSize: 16, NoSignatures: noSigs,
+	})
+	defer sys.Close()
+	drive(b, sys, gen)
+}
+
+func BenchmarkFig5c_Shards1(b *testing.B)          { benchFig5c(b, 1, false) }
+func BenchmarkFig5c_Shards2(b *testing.B)          { benchFig5c(b, 2, false) }
+func BenchmarkFig5c_Shards3(b *testing.B)          { benchFig5c(b, 3, false) }
+func BenchmarkFig5c_Shards1_NoProofs(b *testing.B) { benchFig5c(b, 1, true) }
+func BenchmarkFig5c_Shards3_NoProofs(b *testing.B) { benchFig5c(b, 3, true) }
+
+// --- Figure 6a: fast path on/off ---
+
+func BenchmarkFig6a_RWU_FastPath(b *testing.B) {
+	benchFig4(b, "rwu", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16}))
+}
+func BenchmarkFig6a_RWU_NoFP(b *testing.B) {
+	benchFig4(b, "rwu", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16, DisableFastPath: true}))
+}
+func BenchmarkFig6a_RWZ_FastPath(b *testing.B) {
+	benchFig4(b, "rwz", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16}))
+}
+func BenchmarkFig6a_RWZ_NoFP(b *testing.B) {
+	benchFig4(b, "rwz", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: 16, DisableFastPath: true}))
+}
+
+// --- Figure 6b: reply-batch size sweep ---
+
+func BenchmarkFig6b_BatchSweep(b *testing.B) {
+	for _, size := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("b%d", size), func(b *testing.B) {
+			benchFig4(b, "rwu", mkBasil(basil.Options{F: 1, Shards: 1, BatchSize: size}))
+		})
+	}
+}
+
+// --- Figure 7: Byzantine client failure modes ---
+
+func benchFig7(b *testing.B, mode client.FaultMode, allowUnvalidated bool) {
+	// The uniform workload (the paper's Fig. 7a) keeps conflicts — and
+	// hence recovery chains — bounded; the contended Fig. 7b sweep lives
+	// in cmd/basil-bench where run windows are wall-clock bounded.
+	gen := smallGen("rwu")
+	sys := benchharness.NewBasil(gen, basil.Options{
+		F: 1, Shards: 1, BatchSize: 16,
+		PhaseTimeout:        50 * time.Millisecond,
+		AllowUnvalidatedST2: allowUnvalidated,
+	})
+	defer sys.Close()
+	// Two Byzantine clients misbehave continuously in the background.
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 2; i++ {
+		byz := sys.C.NewClient()
+		rng := rand.New(rand.NewSource(int64(i) + 55))
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fn := gen.Next(rng)
+				inner := byz.Inner()
+				tx := inner.Begin()
+				if fn.Body(byzTxAdapter{tx}) == nil {
+					inner.CommitFaulty(tx, mode)
+				}
+			}
+		}()
+	}
+	drive(b, sys, gen)
+}
+
+type byzTxAdapter struct{ t *client.Txn }
+
+func (a byzTxAdapter) Read(k string) ([]byte, error) { return a.t.Read(k) }
+func (a byzTxAdapter) Write(k string, v []byte)      { a.t.Write(k, v) }
+
+func BenchmarkFig7_StallEarly(b *testing.B)  { benchFig7(b, client.FaultStallEarly, false) }
+func BenchmarkFig7_StallLate(b *testing.B)   { benchFig7(b, client.FaultStallLate, false) }
+func BenchmarkFig7_EquivReal(b *testing.B)   { benchFig7(b, client.FaultEquivReal, false) }
+func BenchmarkFig7_EquivForced(b *testing.B) { benchFig7(b, client.FaultEquivForced, true) }
+
+// --- §6.1 commit-rate table: covered by the drive loop's retry behavior;
+// the cmd tool reports rates. Here we pin the fast-path share invariant.
+
+func BenchmarkCommitRates_FastPathShare(b *testing.B) {
+	gen := smallGen("smallbank")
+	sys := benchharness.NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 16})
+	defer sys.Close()
+	drive(b, sys, gen)
+	b.ReportMetric(sys.FastPathShare(), "fastpath-share")
+}

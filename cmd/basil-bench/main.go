@@ -1,0 +1,104 @@
+// Command basil-bench regenerates the paper's evaluation tables and
+// figures (§6) as text rows. Each experiment id matches a figure; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+//
+// Usage:
+//
+//	basil-bench -experiment all -scale quick
+//	basil-bench -experiment fig4 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/benchharness"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, all")
+	scaleName := flag.String("scale", "quick", "quick or full")
+	flag.Parse()
+
+	var scale benchharness.Scale
+	switch *scaleName {
+	case "quick":
+		scale = benchharness.Quick()
+	case "full":
+		scale = benchharness.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	run := func(id string) bool {
+		want := *exp == "all" || strings.EqualFold(*exp, id)
+		if want {
+			fmt.Printf("running %s ...\n", id)
+		}
+		return want
+	}
+
+	out := os.Stdout
+	any := false
+	if run("fig4") {
+		any = true
+		tput, lat := benchharness.Fig4(scale)
+		tput.Render(out)
+		lat.Render(out)
+	}
+	if run("fig5a") {
+		any = true
+		t := benchharness.Fig5a(scale)
+		t.Render(out)
+	}
+	if run("fig5b") {
+		any = true
+		t := benchharness.Fig5b(scale)
+		t.Render(out)
+	}
+	if run("fig5c") {
+		any = true
+		t := benchharness.Fig5c(scale)
+		t.Render(out)
+	}
+	if run("fig6a") {
+		any = true
+		t := benchharness.Fig6a(scale)
+		t.Render(out)
+	}
+	if run("fig6b") {
+		any = true
+		t := benchharness.Fig6b(scale)
+		t.Render(out)
+	}
+	if run("fig7a") {
+		any = true
+		t := benchharness.Fig7(scale, false)
+		t.Render(out)
+	}
+	if run("fig7b") {
+		any = true
+		t := benchharness.Fig7(scale, true)
+		t.Render(out)
+	}
+	if run("latency") {
+		any = true
+		t := benchharness.FigLatency(scale, 500*time.Microsecond)
+		t.Render(out)
+	}
+	if run("rates") {
+		any = true
+		t := benchharness.CommitRates(scale)
+		t.Render(out)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,140 @@
+// Command basil-kv is an interactive client for a TCP Basil deployment
+// started with basil-server. It reads simple commands from stdin:
+//
+//	get <key>
+//	put <key> <value>
+//	txn <key1>=<val1> <key2>=<val2> ...   (atomic multi-key write)
+//	quit
+//
+// The -peers flag takes the same route list as basil-server; the client
+// listens on an ephemeral port that it registers with its own address
+// implicitly (outbound replies use the same connection book).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+func main() {
+	f := flag.Int("f", 1, "per-shard fault threshold (n = 5f+1)")
+	shards := flag.Int("shards", 1, "number of shards")
+	listen := flag.String("listen", "127.0.0.1:0", "client listen address for replies")
+	peers := flag.String("peers", "", "comma-separated shard:index=host:port routes")
+	seed := flag.Int64("seed", 1, "registry key seed (must match the servers)")
+	id := flag.Int("id", 1000, "client id (unique per client)")
+	flag.Parse()
+
+	book := make(map[transport.Addr]string)
+	for _, entry := range strings.Split(*peers, ",") {
+		if entry == "" {
+			continue
+		}
+		kv := strings.SplitN(entry, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad peer entry %q", entry)
+		}
+		var sh, idx int
+		if _, err := fmt.Sscanf(kv[0], "%d:%d", &sh, &idx); err != nil {
+			log.Fatalf("bad peer entry %q: %v", entry, err)
+		}
+		book[transport.ReplicaAddr(int32(sh), int32(idx))] = kv[1]
+	}
+
+	net, err := transport.NewTCP(*listen, book)
+	if err != nil {
+		log.Fatalf("transport: %v", err)
+	}
+	defer net.Close()
+
+	n := 5**f + 1
+	reg := cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, *shards*n, *seed)
+	nshards := int32(*shards)
+	c := client.New(client.Config{
+		ID: int32(*id), F: *f, NumShards: nshards,
+		ShardOf: func(key string) int32 {
+			var h uint32 = 2166136261
+			for i := 0; i < len(key); i++ {
+				h = (h ^ uint32(key[i])) * 16777619
+			}
+			return int32(h % uint32(nshards))
+		},
+		Registry: reg,
+		SignerOf: quorum.SignerOf(func(s, i int32) int32 { return s*int32(n) + i }),
+		Net:      net,
+	})
+
+	fmt.Println("basil-kv: connected. commands: get <k> | put <k> <v> | txn k=v ... | quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			tx := c.Begin()
+			v, err := tx.Read(fields[1])
+			tx.Abort()
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Printf("%q\n", v)
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			tx := c.Begin()
+			tx.Write(fields[1], []byte(fields[2]))
+			if err := tx.Commit(); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Println("ok")
+		case "txn":
+			tx := c.Begin()
+			ok := true
+			for _, kv := range fields[1:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					fmt.Printf("bad pair %q\n", kv)
+					ok = false
+					break
+				}
+				tx.Write(parts[0], []byte(parts[1]))
+			}
+			if !ok {
+				tx.Abort()
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Println("ok")
+		default:
+			fmt.Println("commands: get | put | txn | quit")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command basil-server runs Basil replicas over TCP for a real
+// multi-process deployment. A deployment is described by a topology:
+// shards, the fault threshold f, and one host:port per replica. Each
+// server process hosts the replicas whose host matches -listen.
+//
+// Example (single machine, one shard, f=1 → 6 replicas in 6 processes):
+//
+//	for i in $(seq 0 5); do
+//	  basil-server -f 1 -shards 1 -replica 0:$i -listen 127.0.0.1:$((7000+i)) \
+//	    -peers "$(python -c 'print(",".join(f"0:{j}=127.0.0.1:{7000+j}" for j in range(6)))')" &
+//	done
+//
+// Keys are deterministic from -seed, so all processes agree on the
+// registry without a PKI exchange (a real deployment would distribute
+// public keys instead; see README).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/replica"
+	"repro/internal/transport"
+)
+
+func main() {
+	f := flag.Int("f", 1, "per-shard fault threshold (n = 5f+1)")
+	shards := flag.Int("shards", 1, "number of shards")
+	which := flag.String("replica", "0:0", "replica to host, as shard:index")
+	listen := flag.String("listen", "127.0.0.1:7000", "listen address")
+	peers := flag.String("peers", "", "comma-separated shard:index=host:port routes for all replicas")
+	seed := flag.Int64("seed", 1, "registry key seed (must match across all nodes)")
+	batch := flag.Int("batch", 16, "reply signature batch size")
+	flag.Parse()
+
+	shard, index, err := parseReplica(*which)
+	if err != nil {
+		log.Fatalf("bad -replica: %v", err)
+	}
+	book, err := parseBook(*peers)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+
+	net, err := transport.NewTCP(*listen, book)
+	if err != nil {
+		log.Fatalf("transport: %v", err)
+	}
+	defer net.Close()
+
+	n := 5**f + 1
+	reg := cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, *shards*n, *seed)
+	signerOf := quorum.SignerOf(func(s, i int32) int32 { return s*int32(n) + i })
+
+	r := replica.New(replica.Config{
+		Shard: shard, Index: index, F: *f,
+		DeltaMicros: 60_000_000,
+		BatchSize:   *batch,
+		Registry:    reg,
+		SignerID:    signerOf(shard, index),
+		SignerOf:    signerOf,
+		Net:         net,
+	})
+	defer r.Close()
+
+	fmt.Printf("basil-server: replica %d.%d listening on %s (n=%d, %d shards)\n",
+		shard, index, net.ListenAddr(), n, *shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("basil-server: shutting down")
+}
+
+func parseReplica(s string) (int32, int32, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want shard:index, got %q", s)
+	}
+	sh, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(sh), int32(idx), nil
+}
+
+func parseBook(s string) (map[transport.Addr]string, error) {
+	book := make(map[transport.Addr]string)
+	if s == "" {
+		return book, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		kv := strings.SplitN(entry, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("want shard:index=host:port, got %q", entry)
+		}
+		sh, idx, err := parseReplica(kv[0])
+		if err != nil {
+			return nil, err
+		}
+		book[transport.ReplicaAddr(sh, idx)] = kv[1]
+	}
+	return book, nil
+}

@@ -1,0 +1,119 @@
+// Bank: a consortium-payments example in the spirit of the paper's
+// introduction — mutually distrustful banks sharing a BFT ledger without a
+// central clearing house. Each bank's accounts live on the shared Basil
+// store; transfers are serializable transactions, and the demo verifies
+// conservation of money at the end even with concurrent transfers.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"repro/basil"
+)
+
+const (
+	banks           = 3
+	accountsPerBank = 20
+	initialBalance  = 1_000
+	transfers       = 120
+)
+
+func accountKey(bank, acct int) string { return fmt.Sprintf("bank%d/acct%d", bank, acct) }
+
+func enc(v int64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func dec(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func main() {
+	// One shard per bank: cross-bank payments are cross-shard
+	// transactions committed atomically by Basil's client-driven 2PC.
+	cluster := basil.NewCluster(basil.Options{
+		F: 1, Shards: banks,
+		ShardOf: func(key string) int32 { return int32(key[4] - '0') },
+	})
+	defer cluster.Close()
+
+	for b := 0; b < banks; b++ {
+		for a := 0; a < accountsPerBank; a++ {
+			cluster.Load(accountKey(b, a), enc(initialBalance))
+		}
+	}
+
+	// Each bank runs its own client (its own signing identity and its own
+	// transactions) — Basil is leaderless, so no bank is privileged.
+	var wg sync.WaitGroup
+	var rejected sync.Map
+	for b := 0; b < banks; b++ {
+		client := cluster.NewClient()
+		rng := rand.New(rand.NewSource(int64(b) + 1))
+		wg.Add(1)
+		go func(bank int) {
+			defer wg.Done()
+			for i := 0; i < transfers/banks; i++ {
+				fromA := rng.Intn(accountsPerBank)
+				toBank := rng.Intn(banks)
+				toA := rng.Intn(accountsPerBank)
+				if toBank == bank && toA == fromA {
+					continue
+				}
+				amount := int64(1 + rng.Intn(50))
+				err := client.Run(func(tx *basil.Txn) error {
+					src, err := tx.Read(accountKey(bank, fromA))
+					if err != nil {
+						return err
+					}
+					if dec(src) < amount {
+						rejected.Store(fmt.Sprintf("%d/%d/%d", bank, fromA, i), true)
+						return nil // insufficient funds: no-op commit
+					}
+					dst, err := tx.Read(accountKey(toBank, toA))
+					if err != nil {
+						return err
+					}
+					tx.Write(accountKey(bank, fromA), enc(dec(src)-amount))
+					tx.Write(accountKey(toBank, toA), enc(dec(dst)+amount))
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("bank %d transfer failed: %v", bank, err)
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+
+	// Audit: total money must be conserved (serializability at work).
+	auditor := cluster.NewClient()
+	var total int64
+	tx := auditor.Begin()
+	for b := 0; b < banks; b++ {
+		for a := 0; a < accountsPerBank; a++ {
+			v, err := tx.Read(accountKey(b, a))
+			if err != nil {
+				log.Fatalf("audit read: %v", err)
+			}
+			total += dec(v)
+		}
+	}
+	tx.Abort()
+
+	want := int64(banks * accountsPerBank * initialBalance)
+	fmt.Printf("audited total: %d (expected %d)\n", total, want)
+	if total != want {
+		log.Fatal("MONEY WAS NOT CONSERVED — serializability violated")
+	}
+	fmt.Println("conservation holds: the consortium ledger is consistent")
+}

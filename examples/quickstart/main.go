@@ -1,0 +1,47 @@
+// Quickstart: start a single-shard Basil cluster (n = 5f+1 = 6 replicas),
+// run one read-modify-write transaction, and read the result back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/basil"
+)
+
+func main() {
+	cluster := basil.NewCluster(basil.Options{F: 1, Shards: 1})
+	defer cluster.Close()
+
+	// Load the initial state (genesis versions, outside the protocol).
+	cluster.Load("greeting", []byte("hello"))
+
+	client := cluster.NewClient()
+
+	// Interactive transaction: read, compute, write, commit. Run retries
+	// serialization aborts automatically.
+	err := client.Run(func(tx *basil.Txn) error {
+		v, err := tx.Read("greeting")
+		if err != nil {
+			return err
+		}
+		tx.Write("greeting", append(v, []byte(", basil")...))
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("transaction failed: %v", err)
+	}
+
+	// Read it back in a fresh transaction.
+	tx := client.Begin()
+	v, err := tx.Read("greeting")
+	if err != nil {
+		log.Fatalf("read back: %v", err)
+	}
+	tx.Abort() // read-only; no need to commit
+
+	fmt.Printf("greeting = %q\n", v)
+	st := client.Stats()
+	fmt.Printf("fast-path commits: %d, slow-path: %d\n",
+		st.FastPathTaken.Load(), st.SlowPathTaken.Load())
+}

@@ -1,0 +1,61 @@
+// Retwis: the paper's social-network workload (§6.1) on the public API —
+// users post, follow and read timelines concurrently while the store keeps
+// every interleaving serializable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"repro/basil"
+	"repro/internal/workload"
+)
+
+func main() {
+	cluster := basil.NewCluster(basil.Options{F: 1, Shards: 2, BatchSize: 8})
+	defer cluster.Close()
+
+	gen := workload.NewRetwis(workload.RetwisConfig{Users: 500})
+	gen.Populate(cluster.Load)
+
+	const actors = 4
+	const actionsPerActor = 40
+	var wg sync.WaitGroup
+	var committed, aborted sync.Map
+	for a := 0; a < actors; a++ {
+		client := cluster.NewClient()
+		rng := rand.New(rand.NewSource(int64(a) + 7))
+		wg.Add(1)
+		go func(actor int) {
+			defer wg.Done()
+			ok, fail := 0, 0
+			for i := 0; i < actionsPerActor; i++ {
+				fn := gen.Next(rng)
+				err := client.Run(func(tx *basil.Txn) error { return fn.Body(txShim{tx}) })
+				if err != nil {
+					fail++
+					continue
+				}
+				ok++
+			}
+			committed.Store(actor, ok)
+			aborted.Store(actor, fail)
+		}(a)
+	}
+	wg.Wait()
+
+	total := 0
+	committed.Range(func(_, v any) bool { total += v.(int); return true })
+	fmt.Printf("retwis: %d social actions committed across %d concurrent actors\n", total, actors)
+	if total == 0 {
+		log.Fatal("no actions committed")
+	}
+}
+
+// txShim adapts basil.Txn to the workload.Tx interface.
+type txShim struct{ t *basil.Txn }
+
+func (s txShim) Read(k string) ([]byte, error) { return s.t.Read(k) }
+func (s txShim) Write(k string, v []byte)      { s.t.Write(k, v) }

@@ -1,0 +1,134 @@
+// Supplychain: the paper's motivating "supply chains are networks of
+// independent transactions" scenario (§1). Distrustful parties — a farm, a
+// factory, a carrier and a retailer — each own a shard; goods move through
+// custody transfers that are interactive cross-shard transactions. The
+// demo shows (i) non-conflicting transfers proceeding in parallel with no
+// total order across them and (ii) end-to-end provenance adding up.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	"repro/basil"
+)
+
+var parties = []string{"farm", "factory", "carrier", "retail"}
+
+func stockKey(party, sku string) string { return party + "/stock/" + sku }
+func logKey(party, sku string) string   { return party + "/log/" + sku }
+
+func enc(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func shardOf(key string) int32 {
+	for i, p := range parties {
+		if strings.HasPrefix(key, p+"/") {
+			return int32(i)
+		}
+	}
+	return 0
+}
+
+func main() {
+	cluster := basil.NewCluster(basil.Options{
+		F: 1, Shards: len(parties), ShardOf: shardOf,
+	})
+	defer cluster.Close()
+
+	skus := []string{"wheat", "barley", "oats"}
+	for _, sku := range skus {
+		cluster.Load(stockKey("farm", sku), enc(100))
+		for _, p := range parties[1:] {
+			cluster.Load(stockKey(p, sku), enc(0))
+		}
+		for _, p := range parties {
+			cluster.Load(logKey(p, sku), enc(0))
+		}
+	}
+
+	// transfer moves qty units of sku between two parties atomically,
+	// updating both custody records and both audit logs — a 4-key,
+	// 2-shard interactive transaction.
+	transfer := func(c *basil.Client, from, to, sku string, qty uint64) error {
+		return c.Run(func(tx *basil.Txn) error {
+			src, err := tx.Read(stockKey(from, sku))
+			if err != nil {
+				return err
+			}
+			if dec(src) < qty {
+				return nil // out of stock: no-op
+			}
+			dst, err := tx.Read(stockKey(to, sku))
+			if err != nil {
+				return err
+			}
+			slog, err := tx.Read(logKey(from, sku))
+			if err != nil {
+				return err
+			}
+			dlog, err := tx.Read(logKey(to, sku))
+			if err != nil {
+				return err
+			}
+			tx.Write(stockKey(from, sku), enc(dec(src)-qty))
+			tx.Write(stockKey(to, sku), enc(dec(dst)+qty))
+			tx.Write(logKey(from, sku), enc(dec(slog)+qty))
+			tx.Write(logKey(to, sku), enc(dec(dlog)+qty))
+			return nil
+		})
+	}
+
+	// Each SKU's chain runs concurrently: logically independent flows
+	// never wait on one another (the leaderless, partial-order win).
+	var wg sync.WaitGroup
+	for _, sku := range skus {
+		client := cluster.NewClient()
+		wg.Add(1)
+		go func(sku string) {
+			defer wg.Done()
+			for hop := 0; hop+1 < len(parties); hop++ {
+				for batch := 0; batch < 5; batch++ {
+					if err := transfer(client, parties[hop], parties[hop+1], sku, 20); err != nil {
+						log.Fatalf("%s hop %d: %v", sku, hop, err)
+					}
+				}
+			}
+		}(sku)
+	}
+	wg.Wait()
+
+	// Provenance audit: all 100 units of each SKU must be accounted for.
+	auditor := cluster.NewClient()
+	for _, sku := range skus {
+		tx := auditor.Begin()
+		var total uint64
+		for _, p := range parties {
+			v, err := tx.Read(stockKey(p, sku))
+			if err != nil {
+				log.Fatalf("audit: %v", err)
+			}
+			total += dec(v)
+		}
+		retail, _ := tx.Read(stockKey("retail", sku))
+		tx.Abort()
+		fmt.Printf("%-7s total=%d retail=%d\n", sku, total, dec(retail))
+		if total != 100 {
+			log.Fatalf("%s: custody audit failed (total %d != 100)", sku, total)
+		}
+	}
+	fmt.Println("provenance audit passed: every unit accounted for")
+}

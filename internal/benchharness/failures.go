@@ -1,0 +1,179 @@
+package benchharness
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/basil"
+	"repro/internal/client"
+	"repro/internal/workload"
+)
+
+// FailureRunConfig parameterizes a Byzantine-client run (paper §6.4,
+// Fig. 7): a constant client population, a fraction of which issues
+// faulty transactions at a given rate under one misbehavior mode.
+type FailureRunConfig struct {
+	CorrectClients int
+	ByzClients     int
+	// FaultFraction is the probability that a Byzantine client's next
+	// admitted transaction misbehaves (its remaining transactions are
+	// executed correctly, matching the paper's setup).
+	FaultFraction float64
+	Mode          client.FaultMode
+	Warmup        time.Duration
+	Measure       time.Duration
+	Seed          int64
+}
+
+// FailureResult extends Result with fault accounting.
+type FailureResult struct {
+	Result
+	FaultyTxs       uint64
+	EquivocationsOK uint64  // equiv attempts that actually diverged
+	FaultShare      float64 // faulty / (faulty + correct commits), the paper's x-axis
+	PerCorrectCli   float64 // committed tx/s per correct client (the paper's y-axis)
+}
+
+// RunWithByzClients drives gen with a mixed population of correct and
+// Byzantine Basil clients and reports correct-client throughput.
+func RunWithByzClients(cl *basil.Cluster, gen workload.Generator, cfg FailureRunConfig) FailureResult {
+	if cfg.Measure <= 0 {
+		cfg.Measure = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 99
+	}
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		commits   atomic.Uint64
+		attempts  atomic.Uint64
+		faulty    atomic.Uint64
+		equivOK   atomic.Uint64
+		latMu     sync.Mutex
+		lats      []float64
+	)
+
+	var wg sync.WaitGroup
+	// Correct clients: the measured population.
+	for i := 0; i < cfg.CorrectClients; i++ {
+		c := cl.NewClient()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				fn := gen.Next(rng)
+				start := time.Now()
+				backoff := 200 * time.Microsecond
+				for !stop.Load() {
+					tx := c.Begin()
+					if measuring.Load() {
+						attempts.Add(1)
+					}
+					err := fn.Body(txAdapter{tx})
+					if err == nil {
+						err = tx.Commit()
+					} else {
+						tx.Abort()
+					}
+					if err == nil {
+						if measuring.Load() {
+							commits.Add(1)
+							latMu.Lock()
+							lats = append(lats, time.Since(start).Seconds()*1000)
+							latMu.Unlock()
+						}
+						break
+					}
+					if errors.Is(err, workload.ErrWorkloadAbort) {
+						break
+					}
+					time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+					if backoff < 10*time.Millisecond {
+						backoff *= 2
+					}
+				}
+			}
+		}()
+	}
+	// Byzantine clients: issue faulty transactions at the configured
+	// rate; faulty transactions that abort are not retried (paper §6.4).
+	for i := 0; i < cfg.ByzClients; i++ {
+		c := cl.NewClient()
+		rng := rand.New(rand.NewSource(cfg.Seed + 100_003 + int64(i)*104729))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				fn := gen.Next(rng)
+				inner := c.Inner()
+				if rng.Float64() < cfg.FaultFraction {
+					tx := inner.Begin()
+					if fn.Body(clientTxAdapter{tx}) == nil {
+						ok := inner.CommitFaulty(tx, cfg.Mode)
+						if measuring.Load() {
+							faulty.Add(1)
+							if ok && (cfg.Mode == client.FaultEquivReal || cfg.Mode == client.FaultEquivForced) {
+								equivOK.Add(1)
+							}
+						}
+					}
+					continue
+				}
+				tx := inner.Begin()
+				if err := fn.Body(clientTxAdapter{tx}); err == nil {
+					_ = tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	t0 := time.Now()
+	time.Sleep(cfg.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(t0).Seconds()
+	stop.Store(true)
+	wg.Wait()
+
+	res := FailureResult{}
+	res.System = "Basil"
+	res.Workload = gen.Name()
+	res.Clients = cfg.CorrectClients + cfg.ByzClients
+	res.Commits = commits.Load()
+	res.Attempts = attempts.Load()
+	res.MeasureSecs = elapsed
+	res.Throughput = float64(res.Commits) / elapsed
+	if res.Attempts > 0 {
+		res.CommitRate = float64(res.Commits) / float64(res.Attempts)
+	}
+	res.MeanLatMs, res.P50LatMs, res.P99LatMs = latencyStats(lats)
+	res.FaultyTxs = faulty.Load()
+	res.EquivocationsOK = equivOK.Load()
+	if total := float64(res.FaultyTxs) + float64(res.Commits); total > 0 {
+		res.FaultShare = float64(res.FaultyTxs) / total
+	}
+	if cfg.CorrectClients > 0 {
+		res.PerCorrectCli = res.Throughput / float64(cfg.CorrectClients)
+	}
+	return res
+}
+
+// txAdapter adapts *basil.Txn to the harness SysTx.
+type txAdapter struct{ t *basil.Txn }
+
+func (t txAdapter) Read(k string) ([]byte, error) { return t.t.Read(k) }
+func (t txAdapter) Write(k string, v []byte)      { t.t.Write(k, v) }
+
+// clientTxAdapter adapts the internal client transaction.
+type clientTxAdapter struct{ t *client.Txn }
+
+func (t clientTxAdapter) Read(k string) ([]byte, error) { return t.t.Read(k) }
+func (t clientTxAdapter) Write(k string, v []byte)      { t.t.Write(k, v) }

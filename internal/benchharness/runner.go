@@ -1,0 +1,194 @@
+package benchharness
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// RunConfig parameterizes one measurement run.
+type RunConfig struct {
+	// Clients is the closed-loop client count.
+	Clients int
+	// Warmup is discarded; Measure is the recorded window.
+	Warmup  time.Duration
+	Measure time.Duration
+	// MaxRetries bounds per-transaction retries (0 = retry forever,
+	// matching the paper's closed loop).
+	MaxRetries int
+	Seed       int64
+}
+
+// Result aggregates one run.
+type Result struct {
+	System   string
+	Workload string
+	Clients  int
+
+	Throughput  float64 // committed tx/s in the measure window
+	MeanLatMs   float64 // mean commit latency (first attempt -> commit)
+	P50LatMs    float64
+	P99LatMs    float64
+	CommitRate  float64 // commits / attempts
+	Commits     uint64
+	Attempts    uint64
+	AppAborts   uint64  // application-logic aborts (not retried)
+	Starved     uint64  // transactions that hit MaxRetries
+	PerTxpsCli  float64 // committed tx/s per client
+	MeasureSecs float64
+}
+
+// Run drives gen against sys with closed-loop clients and returns
+// aggregate statistics. Latency is measured from a transaction's first
+// invocation until its commit returns (paper §6 setup), with aborted
+// transactions retried under exponential backoff.
+func Run(sys System, gen workload.Generator, cfg RunConfig) Result {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		commits   atomic.Uint64
+		attempts  atomic.Uint64
+		appAborts atomic.Uint64
+		starved   atomic.Uint64
+		latMu     sync.Mutex
+		latencies []float64
+	)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		sess := sys.NewSession()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				fn := gen.Next(rng)
+				start := time.Now()
+				backoff := 200 * time.Microsecond
+				retries := 0
+				for !stop.Load() {
+					tx := sess.Begin()
+					if measuring.Load() {
+						attempts.Add(1)
+					}
+					err := fn.Body(tx)
+					if err == nil {
+						err = tx.Commit()
+					} else {
+						tx.Abort()
+					}
+					if err == nil {
+						if measuring.Load() {
+							commits.Add(1)
+							lat := time.Since(start).Seconds() * 1000
+							latMu.Lock()
+							latencies = append(latencies, lat)
+							latMu.Unlock()
+						}
+						break
+					}
+					if errors.Is(err, workload.ErrWorkloadAbort) {
+						// Application rollback: completed, not retried.
+						if measuring.Load() {
+							appAborts.Add(1)
+						}
+						break
+					}
+					retries++
+					if cfg.MaxRetries > 0 && retries >= cfg.MaxRetries {
+						if measuring.Load() {
+							starved.Add(1)
+						}
+						break
+					}
+					time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+					if backoff < 10*time.Millisecond {
+						backoff *= 2
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	t0 := time.Now()
+	time.Sleep(cfg.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(t0).Seconds()
+	stop.Store(true)
+	wg.Wait()
+
+	res := Result{
+		System:      sys.Name(),
+		Workload:    gen.Name(),
+		Clients:     cfg.Clients,
+		Commits:     commits.Load(),
+		Attempts:    attempts.Load(),
+		AppAborts:   appAborts.Load(),
+		Starved:     starved.Load(),
+		MeasureSecs: elapsed,
+	}
+	res.Throughput = float64(res.Commits) / elapsed
+	res.PerTxpsCli = res.Throughput / float64(cfg.Clients)
+	if res.Attempts > 0 {
+		res.CommitRate = float64(res.Commits) / float64(res.Attempts)
+	}
+	res.MeanLatMs, res.P50LatMs, res.P99LatMs = latencyStats(latencies)
+	return res
+}
+
+// latencyStats computes mean/p50/p99 of a sample in ms.
+func latencyStats(lat []float64) (mean, p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	mean = sum / float64(len(lat))
+	p50 = lat[len(lat)/2]
+	idx := int(float64(len(lat))*0.99) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	p99 = lat[idx]
+	return mean, p50, p99
+}
+
+// FindPeak sweeps client counts and returns the run with the highest
+// throughput, mirroring the paper's "peak throughput" methodology.
+// makeSystem must return a freshly populated system for each trial.
+func FindPeak(makeSystem func() System, gen workload.Generator, clientCounts []int, cfg RunConfig) (Result, []Result) {
+	var best Result
+	var all []Result
+	for _, n := range clientCounts {
+		sys := makeSystem()
+		c := cfg
+		c.Clients = n
+		r := Run(sys, gen, c)
+		sys.Close()
+		all = append(all, r)
+		if r.Throughput > best.Throughput {
+			best = r
+		}
+	}
+	return best, all
+}

@@ -1,0 +1,138 @@
+package benchharness
+
+import (
+	"testing"
+	"time"
+
+	"repro/basil"
+	"repro/internal/client"
+	"repro/internal/txbase"
+	"repro/internal/workload"
+)
+
+func quickRun() RunConfig {
+	return RunConfig{Clients: 3, Warmup: 50 * time.Millisecond, Measure: 300 * time.Millisecond}
+}
+
+func smallYCSB() workload.Generator {
+	return workload.NewYCSB(workload.YCSBConfig{Keys: 500, ReadOps: 2, WriteOps: 2})
+}
+
+func TestRunBasilYCSB(t *testing.T) {
+	gen := smallYCSB()
+	sys := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 4})
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+	if r.Throughput <= 0 || r.MeanLatMs <= 0 {
+		t.Fatalf("bad stats: %+v", r)
+	}
+	if share := sys.FastPathShare(); share == 0 {
+		t.Errorf("expected some fast-path commits, share=0")
+	}
+}
+
+func TestRunTapirYCSB(t *testing.T) {
+	gen := smallYCSB()
+	sys := NewTapir(gen, 1)
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+}
+
+func TestRunTxBasePBFT(t *testing.T) {
+	gen := smallYCSB()
+	sys := NewTxBase(gen, txbase.KindPBFT, 1)
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+}
+
+func TestRunTxBaseHotStuff(t *testing.T) {
+	gen := smallYCSB()
+	sys := NewTxBase(gen, txbase.KindHotStuff, 1)
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+}
+
+func TestRunSmallbankBasil(t *testing.T) {
+	gen := workload.NewSmallbank(workload.SmallbankConfig{Accounts: 2_000})
+	sys := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 4})
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+}
+
+func TestRunRetwisBasil(t *testing.T) {
+	gen := workload.NewRetwis(workload.RetwisConfig{Users: 500})
+	sys := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 4})
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+}
+
+func TestRunTPCCBasil(t *testing.T) {
+	gen := workload.NewTPCC(workload.TPCCConfig{
+		Warehouses: 1, Districts: 2, CustomersPer: 30, Items: 100, StockOrders: 2,
+	})
+	sys := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 4})
+	defer sys.Close()
+	r := Run(sys, gen, quickRun())
+	if r.Commits == 0 {
+		t.Fatalf("no commits: %+v", r)
+	}
+}
+
+func TestRunWithStallLateByzClients(t *testing.T) {
+	gen := workload.NewYCSB(workload.YCSBConfig{Keys: 200, ReadOps: 2, WriteOps: 2, Theta: 0.9})
+	sys := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 4})
+	defer sys.Close()
+	r := RunWithByzClients(sys.C, gen, FailureRunConfig{
+		CorrectClients: 3, ByzClients: 2, FaultFraction: 0.5,
+		Mode:   client.FaultStallLate,
+		Warmup: 50 * time.Millisecond, Measure: 400 * time.Millisecond,
+	})
+	if r.Commits == 0 {
+		t.Fatalf("correct clients starved entirely: %+v", r)
+	}
+	if r.FaultyTxs == 0 {
+		t.Fatalf("no faulty transactions were issued")
+	}
+}
+
+func TestRunWithEquivForced(t *testing.T) {
+	gen := workload.NewYCSB(workload.YCSBConfig{Keys: 200, ReadOps: 2, WriteOps: 2, Theta: 0.9})
+	// Under a fully loaded machine (e.g. the whole bench suite running
+	// concurrently) a single short window can starve spuriously; retry
+	// with growing windows before declaring a liveness failure.
+	for attempt := 1; attempt <= 3; attempt++ {
+		sys := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 4,
+			PhaseTimeout: 25 * time.Millisecond, AllowUnvalidatedST2: true})
+		r := RunWithByzClients(sys.C, gen, FailureRunConfig{
+			CorrectClients: 3, ByzClients: 1, FaultFraction: 0.5,
+			Mode:    client.FaultEquivForced,
+			Warmup:  100 * time.Millisecond,
+			Measure: time.Duration(attempt) * time.Second,
+		})
+		sys.Close()
+		if r.Commits > 0 {
+			return
+		}
+		if attempt == 3 {
+			t.Fatalf("correct clients starved entirely after %d attempts: %+v", attempt, r)
+		}
+	}
+}

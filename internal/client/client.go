@@ -1,0 +1,212 @@
+// Package client implements the Basil client: it drives interactive
+// transactions through the Execution, Prepare and Writeback phases (paper
+// §4), validates replica replies and certificates, and runs the recovery
+// protocol for stalled transactions (paper §5).
+package client
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Errors surfaced to applications.
+var (
+	// ErrAborted reports that the transaction failed serializability
+	// validation (application may retry).
+	ErrAborted = errors.New("basil: transaction aborted")
+	// ErrTimeout reports that a protocol phase starved even after
+	// recovery; only possible under severe partitions.
+	ErrTimeout = errors.New("basil: protocol timeout")
+	// ErrConflictPending is returned internally when votes cannot yet be
+	// classified.
+	errPending = errors.New("basil: tally pending")
+)
+
+// Config parameterizes a client.
+type Config struct {
+	ID        int32 // client id; also the timestamp ClientID
+	F         int
+	NumShards int32
+	// ShardOf maps keys to shards. Must agree across all nodes.
+	ShardOf func(key string) int32
+
+	Clock    clock.Clock
+	Registry *cryptoutil.Registry
+	SignerOf quorum.SignerOf
+	Net      transport.Network
+
+	// ReadWait is how many read replies the client waits for before
+	// choosing a version: 1, f+1 (default) or 2f+1 (paper Fig. 5b). The
+	// broadcast fans out to ReadWait+f replicas.
+	ReadWait int
+	// DisableFastPath forces the ST2 logging stage even for unanimous
+	// shards (Basil-NoFP, Fig. 6a).
+	DisableFastPath bool
+	// FastPathWait bounds the extra time spent waiting for unanimity
+	// after a classifiable quorum arrives.
+	FastPathWait time.Duration
+	// PhaseTimeout bounds each protocol phase before recovery kicks in.
+	PhaseTimeout time.Duration
+	// RetryTimeout bounds a whole commit attempt.
+	RetryTimeout time.Duration
+}
+
+// Stats counts client-side protocol events.
+type Stats struct {
+	TxBegun        atomic.Uint64
+	TxCommitted    atomic.Uint64
+	TxAborted      atomic.Uint64
+	FastPathTaken  atomic.Uint64
+	SlowPathTaken  atomic.Uint64
+	DepsAcquired   atomic.Uint64
+	Recoveries     atomic.Uint64
+	FallbackRounds atomic.Uint64
+	ReadRetries    atomic.Uint64
+}
+
+// Client is a Basil client. It is safe for use by one goroutine at a time
+// (the paper's closed-loop model); run one Client per concurrent actor.
+type Client struct {
+	cfg  Config
+	qc   quorum.Config
+	addr transport.Addr
+	qv   *quorum.Verifier
+	sv   *cryptoutil.SigVerifier
+
+	reqSeq  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan any
+	// recent recovery attempts, for deduplication.
+	recovered map[types.TxID]time.Time
+
+	Stats Stats
+}
+
+// markRecovery reports whether the client should attempt to finish id now
+// (it has not tried within the dedup window).
+func (c *Client) markRecovery(id types.TxID) bool {
+	const window = 100 * time.Millisecond
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.recovered[id]; ok && now.Sub(t) < window {
+		return false
+	}
+	if len(c.recovered) > 4096 {
+		c.recovered = make(map[types.TxID]time.Time)
+	}
+	c.recovered[id] = now
+	return true
+}
+
+// New constructs and registers a client on cfg.Net.
+func New(cfg Config) *Client {
+	if cfg.ReadWait <= 0 {
+		cfg.ReadWait = cfg.F + 1
+	}
+	if cfg.FastPathWait <= 0 {
+		cfg.FastPathWait = 2 * time.Millisecond
+	}
+	if cfg.PhaseTimeout <= 0 {
+		cfg.PhaseTimeout = 250 * time.Millisecond
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	c := &Client{
+		cfg:       cfg,
+		qc:        quorum.Config{F: cfg.F},
+		addr:      transport.ClientAddr(cfg.ID),
+		sv:        cryptoutil.NewSigVerifier(cfg.Registry, 4096),
+		pending:   make(map[uint64]chan any),
+		recovered: make(map[types.TxID]time.Time),
+	}
+	c.qv = &quorum.Verifier{Cfg: c.qc, Sigs: c.sv, SignerOf: cfg.SignerOf}
+	cfg.Net.Register(c.addr, c)
+	return c
+}
+
+// Addr returns the client's transport address.
+func (c *Client) Addr() transport.Addr { return c.addr }
+
+// ID returns the client id.
+func (c *Client) ID() int32 { return c.cfg.ID }
+
+// Deliver implements transport.Handler: replies are routed to the pending
+// request they answer.
+func (c *Client) Deliver(_ transport.Addr, msg any) {
+	var reqID uint64
+	switch m := msg.(type) {
+	case *types.ReadReply:
+		reqID = m.ReqID
+	case *types.ST1Reply:
+		reqID = m.ReqID
+	case *types.ST2Reply:
+		reqID = m.ReqID
+	default:
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	c.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- msg:
+	default: // request already satisfied; drop the straggler
+	}
+}
+
+// newRequest allocates a reply channel for a fresh request id.
+func (c *Client) newRequest(buf int) (uint64, chan any) {
+	id := c.reqSeq.Add(1)
+	ch := make(chan any, buf)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+	return id, ch
+}
+
+// endRequest retires a request id.
+func (c *Client) endRequest(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// replicasOf enumerates shard s's replica addresses.
+func (c *Client) replicasOf(s int32) []transport.Addr {
+	n := c.qc.N()
+	out := make([]transport.Addr, n)
+	for i := 0; i < n; i++ {
+		out[i] = transport.ReplicaAddr(s, int32(i))
+	}
+	return out
+}
+
+// send transmits msg to one replica.
+func (c *Client) send(to transport.Addr, msg any) {
+	c.cfg.Net.Send(c.addr, to, msg)
+}
+
+// broadcastShard sends msg to every replica of shard s.
+func (c *Client) broadcastShard(s int32, msg any) {
+	for _, a := range c.replicasOf(s) {
+		c.send(a, msg)
+	}
+}
+
+// now returns the client's current timestamp time component.
+func (c *Client) now() uint64 { return c.cfg.Clock.NowMicros() }

@@ -1,0 +1,320 @@
+package client
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Txn is one interactive transaction (paper §4.1). Reads go to replicas;
+// writes buffer locally until Commit. A Txn is single-goroutine.
+type Txn struct {
+	c  *Client
+	ts types.Timestamp
+
+	reads      []types.ReadEntry
+	readKeys   map[string]bool
+	writes     map[string][]byte
+	writeOrder []string
+	deps       map[types.TxID]types.Dependency
+	depMetas   map[types.TxID]*types.TxMeta
+
+	finished bool
+}
+
+// Begin starts a transaction with a client-chosen timestamp (paper §4.1).
+func (c *Client) Begin() *Txn {
+	c.Stats.TxBegun.Add(1)
+	return &Txn{
+		c:        c,
+		ts:       types.Timestamp{Time: c.now(), ClientID: uint64(c.cfg.ID)},
+		readKeys: make(map[string]bool),
+		writes:   make(map[string][]byte),
+		deps:     make(map[types.TxID]types.Dependency),
+		depMetas: make(map[types.TxID]*types.TxMeta),
+	}
+}
+
+// Timestamp returns the transaction's MVTSO timestamp.
+func (t *Txn) Timestamp() types.Timestamp { return t.ts }
+
+// Write buffers a write (paper §4.1 Write); it becomes visible to others
+// only once the transaction prepares.
+func (t *Txn) Write(key string, value []byte) {
+	if _, seen := t.writes[key]; !seen {
+		t.writeOrder = append(t.writeOrder, key)
+	}
+	t.writes[key] = value
+}
+
+// readCandidate is one validated (version, value) option.
+type readCandidate struct {
+	version  types.Timestamp
+	value    []byte
+	prepared bool
+	writer   *types.TxMeta
+}
+
+// Read returns the value of key visible at the transaction's timestamp
+// (paper §4.1 Read): it broadcasts to ReadWait+f replicas, waits for
+// ReadWait replies, validates them (commit certificates for committed
+// versions, f+1 agreement for prepared or genesis versions), and picks the
+// highest-timestamped valid version. Reading a prepared version records a
+// dependency on its writer.
+func (t *Txn) Read(key string) ([]byte, error) {
+	// Read-your-own-writes from the local buffer.
+	if v, ok := t.writes[key]; ok {
+		return v, nil
+	}
+	// Repeat reads return the recorded version's value only if we cached
+	// it; for simplicity the client re-reads (replicas serve it cheaply).
+	c := t.c
+	shard := c.cfg.ShardOf(key)
+	replicas := c.replicasOf(shard)
+	fanout := c.cfg.ReadWait + c.cfg.F
+	if fanout > len(replicas) {
+		fanout = len(replicas)
+	}
+
+	attempt := 0
+	for {
+		reqID, ch := c.newRequest(len(replicas))
+		req := &types.ReadRequest{ReqID: reqID, ClientID: uint64(c.cfg.ID), Key: key, Ts: t.ts}
+		n := fanout
+		if attempt > 0 {
+			n = len(replicas) // retry against the full shard
+		}
+		// Spread load: start at a rotating offset so replicas share the
+		// f+1-read traffic.
+		off := int(reqID) % len(replicas)
+		for i := 0; i < n; i++ {
+			c.send(replicas[(off+i)%len(replicas)], req)
+		}
+		val, err := t.collectRead(key, reqID, ch)
+		c.endRequest(reqID)
+		if err == nil {
+			return val, nil
+		}
+		attempt++
+		if attempt > 3 {
+			return nil, ErrTimeout
+		}
+		c.Stats.ReadRetries.Add(1)
+	}
+}
+
+// collectRead gathers replies until a valid choice exists.
+func (t *Txn) collectRead(key string, reqID uint64, ch chan any) ([]byte, error) {
+	c := t.c
+	need := c.cfg.ReadWait
+	trustSingle := need == 1 // Fig. 5b "one read": no cross-validation
+
+	var (
+		got       int
+		cands     []readCandidate
+		prepCount = make(map[types.Timestamp]int) // prepared version -> votes
+		prepSeen  = make(map[types.Timestamp]*types.PreparedRead)
+		genCount  = make(map[string]int) // genesis value -> votes
+		genVal    = make(map[string][]byte)
+	)
+	deadline := time.NewTimer(c.cfg.PhaseTimeout)
+	defer deadline.Stop()
+	seen := make(map[int32]bool)
+	for {
+		select {
+		case m := <-ch:
+			rr, ok := m.(*types.ReadReply)
+			if !ok || rr.Key != key || seen[rr.ReplicaID] {
+				continue
+			}
+			sig := rr.Sig
+			if sig.SignerID != c.cfg.SignerOf(rr.ShardID, rr.ReplicaID) || !c.sv.Verify(rr.Payload(), &sig) {
+				continue
+			}
+			seen[rr.ReplicaID] = true
+			got++
+			if rr.Committed == nil && rr.Prepared == nil {
+				// Key absent at this replica: a vote for the empty
+				// genesis state (reads of never-written keys are legal
+				// and return nil).
+				if trustSingle {
+					cands = append(cands, readCandidate{})
+				} else {
+					genCount[""]++
+					if genCount[""] == c.qc.ReadValidity() {
+						cands = append(cands, readCandidate{})
+					}
+				}
+			}
+			if rr.Committed != nil {
+				cr := rr.Committed
+				switch {
+				case cr.WriterMeta == nil: // genesis version
+					if trustSingle {
+						cands = append(cands, readCandidate{value: cr.Value})
+					} else {
+						k := string(cr.Value)
+						genCount[k]++
+						genVal[k] = cr.Value
+						if genCount[k] == c.qc.ReadValidity() {
+							cands = append(cands, readCandidate{value: cr.Value})
+						}
+					}
+				case cr.Cert != nil && cr.Version().Less(t.ts):
+					if trustSingle || t.validCommittedRead(key, cr) {
+						cands = append(cands, readCandidate{
+							version: cr.Version(), value: cr.Value, writer: cr.WriterMeta,
+						})
+					}
+				}
+			}
+			if rr.Prepared != nil && rr.Prepared.WriterMeta != nil && rr.Prepared.Version().Less(t.ts) {
+				pr := rr.Prepared
+				v := pr.Version()
+				prepCount[v]++
+				if prepSeen[v] == nil {
+					prepSeen[v] = pr
+				}
+				valid := c.qc.ReadValidity()
+				if trustSingle {
+					valid = 1
+				}
+				if prepCount[v] == valid {
+					cands = append(cands, readCandidate{
+						version: v, value: pr.Value, prepared: true, writer: pr.WriterMeta,
+					})
+				}
+			}
+			if got >= need && len(cands) > 0 {
+				return t.chooseRead(key, cands), nil
+			}
+		case <-deadline.C:
+			if len(cands) > 0 {
+				return t.chooseRead(key, cands), nil
+			}
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// validCommittedRead verifies a committed version's certificate and its
+// binding to (key, value): H(meta) must equal the certificate's tx id and
+// the write must appear in the writer's write set.
+func (t *Txn) validCommittedRead(key string, cr *types.CommittedRead) bool {
+	meta := cr.WriterMeta
+	found := false
+	for _, w := range meta.WriteSet {
+		if w.Key == key && string(w.Value) == string(cr.Value) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	return t.c.qv.VerifyDecisionCert(cr.Cert, meta) == nil
+}
+
+// chooseRead picks the highest-timestamped valid candidate, records the
+// read entry and (for prepared versions) the dependency.
+func (t *Txn) chooseRead(key string, cands []readCandidate) []byte {
+	best := cands[0]
+	for _, cd := range cands[1:] {
+		if best.version.Less(cd.version) {
+			best = cd
+		}
+	}
+	if !t.readKeys[key] {
+		t.reads = append(t.reads, types.ReadEntry{Key: key, Version: best.version})
+		t.readKeys[key] = true
+	}
+	if best.prepared && best.writer != nil {
+		id := best.writer.ID()
+		if _, dup := t.deps[id]; !dup {
+			t.deps[id] = types.Dependency{TxID: id, Version: best.version}
+			t.depMetas[id] = best.writer
+			t.c.Stats.DepsAcquired.Add(1)
+		}
+	}
+	return best.value
+}
+
+// Abort abandons the transaction, releasing read timestamps (paper §4.1
+// Abort). Writes were never visible.
+func (t *Txn) Abort() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.c.Stats.TxAborted.Add(1)
+	if len(t.reads) == 0 {
+		return
+	}
+	byShard := make(map[int32][]string)
+	for _, r := range t.reads {
+		s := t.c.cfg.ShardOf(r.Key)
+		byShard[s] = append(byShard[s], r.Key)
+	}
+	for s, keys := range byShard {
+		t.c.broadcastShard(s, &types.AbortRead{ClientID: uint64(t.c.cfg.ID), Ts: t.ts, Keys: keys})
+	}
+}
+
+// MetaSnapshot returns the transaction's metadata as it would be (or was)
+// submitted in ST1. Used by the verification harness to rebuild committed
+// histories; safe to call after Commit.
+func (t *Txn) MetaSnapshot() *types.TxMeta { return t.buildMeta() }
+
+// buildMeta assembles the signed transaction metadata.
+func (t *Txn) buildMeta() *types.TxMeta {
+	meta := &types.TxMeta{Timestamp: t.ts}
+	meta.ReadSet = append(meta.ReadSet, t.reads...)
+	for _, k := range t.writeOrder {
+		meta.WriteSet = append(meta.WriteSet, types.WriteEntry{Key: k, Value: t.writes[k]})
+	}
+	for _, d := range t.deps {
+		meta.Deps = append(meta.Deps, d)
+	}
+	sort.Slice(meta.Deps, func(i, j int) bool {
+		return string(meta.Deps[i].TxID[:]) < string(meta.Deps[j].TxID[:])
+	})
+	shardSet := make(map[int32]bool)
+	for _, r := range meta.ReadSet {
+		shardSet[t.c.cfg.ShardOf(r.Key)] = true
+	}
+	for _, w := range meta.WriteSet {
+		shardSet[t.c.cfg.ShardOf(w.Key)] = true
+	}
+	for s := range shardSet {
+		meta.Shards = append(meta.Shards, s)
+	}
+	sort.Slice(meta.Shards, func(i, j int) bool { return meta.Shards[i] < meta.Shards[j] })
+	return meta
+}
+
+// Commit runs the Prepare and Writeback phases (paper §4.2–4.3). It
+// returns nil if the transaction committed and ErrAborted if any shard
+// voted abort.
+func (t *Txn) Commit() error {
+	if t.finished {
+		return ErrAborted
+	}
+	t.finished = true
+	if len(t.reads) == 0 && len(t.writes) == 0 {
+		t.c.Stats.TxCommitted.Add(1)
+		return nil // empty transaction commits trivially
+	}
+	meta := t.buildMeta()
+	dec, err := t.c.runPrepare(meta, t.depMetas)
+	if err != nil {
+		t.c.Stats.TxAborted.Add(1)
+		return err
+	}
+	if dec == types.DecisionCommit {
+		t.c.Stats.TxCommitted.Add(1)
+		return nil
+	}
+	t.c.Stats.TxAborted.Add(1)
+	return ErrAborted
+}

@@ -1,0 +1,45 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	c := Real{}
+	a := c.NowMicros()
+	time.Sleep(2 * time.Millisecond)
+	b := c.NowMicros()
+	if b <= a {
+		t.Fatalf("real clock did not advance: %d -> %d", a, b)
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	m := NewManual(1000)
+	ahead := Skewed{Base: m, Offset: 500}
+	behind := Skewed{Base: m, Offset: -300}
+	if ahead.NowMicros() != 1500 || behind.NowMicros() != 700 {
+		t.Fatalf("skew wrong: %d %d", ahead.NowMicros(), behind.NowMicros())
+	}
+	// Negative skew clamps at zero rather than wrapping.
+	deep := Skewed{Base: NewManual(10), Offset: -100}
+	if deep.NowMicros() != 0 {
+		t.Fatalf("underflow not clamped: %d", deep.NowMicros())
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	m := NewManual(5)
+	if m.NowMicros() != 5 {
+		t.Fatal("start value wrong")
+	}
+	m.Advance(10)
+	if m.NowMicros() != 15 {
+		t.Fatal("advance wrong")
+	}
+	m.Set(100)
+	if m.NowMicros() != 100 {
+		t.Fatal("set wrong")
+	}
+}

@@ -1,0 +1,35 @@
+// Package core aggregates the two roles that make up the paper's primary
+// contribution — the Basil replica (internal/replica) and the Basil client
+// (internal/client) — behind one construction point. The public facade
+// (package basil) composes whole clusters; core is the seam used by tests
+// and by deployments that wire roles to transports manually (see
+// cmd/basil-server and cmd/basil-kv).
+package core
+
+import (
+	"repro/internal/client"
+	"repro/internal/replica"
+)
+
+// Replica is a Basil replica (see internal/replica for the protocol
+// implementation: MVTSO check, ST1/ST2, writeback, fallback).
+type Replica = replica.Replica
+
+// ReplicaConfig parameterizes a replica.
+type ReplicaConfig = replica.Config
+
+// Client is a Basil client (see internal/client: interactive transactions,
+// vote aggregation, recovery).
+type Client = client.Client
+
+// ClientConfig parameterizes a client.
+type ClientConfig = client.Config
+
+// Txn is one interactive transaction.
+type Txn = client.Txn
+
+// NewReplica constructs and registers a replica on its transport.
+func NewReplica(cfg ReplicaConfig) *Replica { return replica.New(cfg) }
+
+// NewClient constructs and registers a client on its transport.
+func NewClient(cfg ClientConfig) *Client { return client.New(cfg) }

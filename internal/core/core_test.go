@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+// TestManualWiring builds a shard directly through package core — the
+// same seam cmd/basil-server uses — and commits a transaction.
+func TestManualWiring(t *testing.T) {
+	const f = 1
+	n := 5*f + 1
+	net := transport.NewLocal()
+	defer net.Close()
+	reg := cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, n, 1)
+	signerOf := quorum.SignerOf(func(s, i int32) int32 { return i })
+
+	var reps []*core.Replica
+	for i := 0; i < n; i++ {
+		r := core.NewReplica(core.ReplicaConfig{
+			Shard: 0, Index: int32(i), F: f,
+			DeltaMicros: 60_000_000,
+			Registry:    reg, SignerID: int32(i), SignerOf: signerOf,
+			Net: net,
+		})
+		r.LoadGenesis("k", []byte("v0"))
+		reps = append(reps, r)
+	}
+	defer func() {
+		for _, r := range reps {
+			r.Close()
+		}
+	}()
+
+	c := core.NewClient(core.ClientConfig{
+		ID: 1, F: f, NumShards: 1,
+		ShardOf:  func(string) int32 { return 0 },
+		Registry: reg, SignerOf: signerOf, Net: net,
+	})
+	tx := c.Begin()
+	v, err := tx.Read("k")
+	if err != nil || string(v) != "v0" {
+		t.Fatalf("read: %q %v", v, err)
+	}
+	tx.Write("k", []byte("v1"))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if c.Stats.TxCommitted.Load() != 1 {
+		t.Fatal("commit not counted")
+	}
+}

@@ -1,0 +1,180 @@
+package cryptoutil
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// BatchSigner amortizes signature generation across replies (paper §4.4).
+// Replies are queued with their payload; once Size payloads accumulate (or
+// MaxDelay elapses with a non-empty queue) the signer builds one Merkle
+// tree, signs the root, and completes every queued reply with the shared
+// root signature plus its individual inclusion proof.
+//
+// Size=1 degenerates to direct per-reply signatures with no tree overhead,
+// which is the b=1 point of Fig. 6b.
+type BatchSigner struct {
+	signer   Signer
+	size     int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	pending []pendingSig
+	timer   *time.Timer
+	closed  bool
+}
+
+type pendingSig struct {
+	payload []byte
+	done    func(types.Signature)
+}
+
+// NewBatchSigner creates a batch signer flushing at size payloads or after
+// maxDelay, whichever comes first. size < 1 is treated as 1.
+func NewBatchSigner(signer Signer, size int, maxDelay time.Duration) *BatchSigner {
+	if size < 1 {
+		size = 1
+	}
+	if maxDelay <= 0 {
+		maxDelay = time.Millisecond
+	}
+	return &BatchSigner{signer: signer, size: size, maxDelay: maxDelay}
+}
+
+// Enqueue schedules payload for signing; done is invoked (on the flushing
+// goroutine) with the completed signature.
+func (b *BatchSigner) Enqueue(payload []byte, done func(types.Signature)) {
+	if b.size == 1 {
+		sig := types.Signature{SignerID: b.signer.ID(), Direct: b.signer.Sign(payload)}
+		done(sig)
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.pending = append(b.pending, pendingSig{payload: payload, done: done})
+	if len(b.pending) >= b.size {
+		batch := b.take()
+		b.mu.Unlock()
+		b.flush(batch)
+		return
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.maxDelay, b.onTimer)
+	}
+	b.mu.Unlock()
+}
+
+func (b *BatchSigner) onTimer() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// take removes and returns the pending batch; caller holds b.mu.
+func (b *BatchSigner) take() []pendingSig {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+func (b *BatchSigner) flush(batch []pendingSig) {
+	payloads := make([][]byte, len(batch))
+	for i, p := range batch {
+		payloads[i] = p.payload
+	}
+	tree := NewMerkleTree(payloads)
+	root := tree.Root()
+	var rootSig []byte
+	if ds, ok := b.signer.(DigestSigner); ok {
+		rootSig = ds.SignDigest(root)
+	} else {
+		rootSig = b.signer.Sign(root[:])
+	}
+	for i, p := range batch {
+		p.done(types.Signature{
+			SignerID: b.signer.ID(),
+			Root:     root,
+			RootSig:  rootSig,
+			Proof:    tree.Proof(i),
+			Index:    uint32(i),
+		})
+	}
+}
+
+// Close flushes any pending batch and stops the timer.
+func (b *BatchSigner) Close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// SigVerifier verifies types.Signature values (direct or batched) against a
+// registry, caching verified batch roots so the root signature is checked
+// once per batch rather than once per reply (paper §4.4 signature cache).
+type SigVerifier struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	cache map[[32]byte]int32 // verified root -> signer
+	order [][32]byte         // FIFO eviction
+	max   int
+}
+
+// NewSigVerifier creates a verifier with a bounded root cache.
+func NewSigVerifier(reg *Registry, cacheSize int) *SigVerifier {
+	if cacheSize < 1 {
+		cacheSize = 1
+	}
+	return &SigVerifier{reg: reg, cache: make(map[[32]byte]int32), max: cacheSize}
+}
+
+// Verify checks sig over payload. For batched signatures it verifies the
+// Merkle inclusion proof and then the root signature (via the cache).
+func (v *SigVerifier) Verify(payload []byte, sig *types.Signature) bool {
+	if v.reg.Scheme() == SchemeNone {
+		return true
+	}
+	if !sig.IsBatched() {
+		return v.reg.Verify(sig.SignerID, payload, sig.Direct)
+	}
+	if !VerifyProof(payload, sig.Index, sig.Proof, sig.Root) {
+		return false
+	}
+	v.mu.Lock()
+	cachedSigner, hit := v.cache[sig.Root]
+	v.mu.Unlock()
+	if hit && cachedSigner == sig.SignerID {
+		return true
+	}
+	if !v.reg.VerifyDigest(sig.SignerID, sig.Root, sig.RootSig) {
+		return false
+	}
+	v.mu.Lock()
+	if _, exists := v.cache[sig.Root]; !exists {
+		if len(v.order) >= v.max {
+			oldest := v.order[0]
+			v.order = v.order[1:]
+			delete(v.cache, oldest)
+		}
+		v.cache[sig.Root] = sig.SignerID
+		v.order = append(v.order, sig.Root)
+	}
+	v.mu.Unlock()
+	return true
+}

@@ -1,0 +1,103 @@
+package cryptoutil
+
+import "crypto/sha256"
+
+// Merkle-tree reply batching (paper §4.4, Figure 2).
+//
+// A replica accumulates b reply payloads, builds a Merkle tree over their
+// leaf hashes, signs the root once, and ships each client its own reply,
+// the root, the root signature, and the log(b) sibling hashes needed to
+// reconstruct the root from that reply.
+//
+// The leaf layer is padded to a power of two by repeating the last leaf
+// hash, so every level pairs fully and a proof is unambiguous given the
+// leaf index alone (the index supplies left/right orientation).
+
+// leafHash domain-separates leaves from interior nodes so a proof cannot
+// confuse the two (second-preimage hardening).
+func leafHash(payload []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(payload)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// MerkleTree is a complete binary hash tree over a batch of payloads.
+type MerkleTree struct {
+	levels [][][32]byte // levels[0] = padded leaves, last level = [root]
+}
+
+// NewMerkleTree hashes the payloads and builds the tree. It panics on an
+// empty batch (callers flush only non-empty batches).
+func NewMerkleTree(payloads [][]byte) *MerkleTree {
+	if len(payloads) == 0 {
+		panic("cryptoutil: empty merkle batch")
+	}
+	n := 1
+	for n < len(payloads) {
+		n <<= 1
+	}
+	leaves := make([][32]byte, n)
+	for i, p := range payloads {
+		leaves[i] = leafHash(p)
+	}
+	for i := len(payloads); i < n; i++ {
+		leaves[i] = leaves[len(payloads)-1]
+	}
+	t := &MerkleTree{levels: [][][32]byte{leaves}}
+	cur := leaves
+	for len(cur) > 1 {
+		next := make([][32]byte, len(cur)/2)
+		for i := range next {
+			next[i] = nodeHash(cur[2*i], cur[2*i+1])
+		}
+		t.levels = append(t.levels, next)
+		cur = next
+	}
+	return t
+}
+
+// Root returns the tree root.
+func (t *MerkleTree) Root() [32]byte {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Proof returns the sibling path for leaf index i, bottom-up.
+func (t *MerkleTree) Proof(i int) [][32]byte {
+	proof := make([][32]byte, 0, len(t.levels)-1)
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		proof = append(proof, t.levels[lvl][idx^1])
+		idx >>= 1
+	}
+	return proof
+}
+
+// VerifyProof reconstructs the root from a payload, its leaf index, and the
+// sibling path, and compares it against root.
+func VerifyProof(payload []byte, index uint32, proof [][32]byte, root [32]byte) bool {
+	h := leafHash(payload)
+	idx := index
+	for _, sib := range proof {
+		if idx&1 == 1 {
+			h = nodeHash(sib, h)
+		} else {
+			h = nodeHash(h, sib)
+		}
+		idx >>= 1
+	}
+	return h == root
+}

@@ -1,0 +1,88 @@
+// Package faults supplies Byzantine behavior strategies for replicas and
+// clients, used by the failure experiments (paper §6.4) and the
+// adversarial test suite.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/replica"
+	"repro/internal/types"
+)
+
+// VoteAbortReplica always votes abort, the cheapest way for a Byzantine
+// replica to disable Basil's fast path (paper §6.3: "Byzantine replicas,
+// by refusing to vote or voting abort, can effectively disable the fast
+// path option").
+type VoteAbortReplica struct{}
+
+// MutateVote implements replica.ByzantineStrategy.
+func (VoteAbortReplica) MutateVote(types.TxID, types.Vote) types.Vote { return types.VoteAbort }
+
+// DropRead implements replica.ByzantineStrategy.
+func (VoteAbortReplica) DropRead(string) bool { return false }
+
+// UnresponsiveReplica stays silent on the selected paths, forcing clients
+// onto larger read quorums and the slow path (paper §6.4 intro).
+type UnresponsiveReplica struct {
+	Reads bool // drop read requests
+	Votes bool // suppress ST1 votes
+}
+
+// MutateVote implements replica.ByzantineStrategy.
+func (u UnresponsiveReplica) MutateVote(_ types.TxID, v types.Vote) types.Vote {
+	if u.Votes {
+		return types.VoteNone
+	}
+	return v
+}
+
+// DropRead implements replica.ByzantineStrategy.
+func (u UnresponsiveReplica) DropRead(string) bool { return u.Reads }
+
+// FlakyReplica misbehaves probabilistically, for randomized stress tests.
+type FlakyReplica struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	PAbort    float64
+	PSilent   float64
+	PDropRead float64
+}
+
+// NewFlakyReplica builds a seeded flaky replica.
+func NewFlakyReplica(seed int64, pAbort, pSilent, pDropRead float64) *FlakyReplica {
+	return &FlakyReplica{
+		rng: rand.New(rand.NewSource(seed)), PAbort: pAbort, PSilent: pSilent, PDropRead: pDropRead,
+	}
+}
+
+// MutateVote implements replica.ByzantineStrategy.
+func (f *FlakyReplica) MutateVote(_ types.TxID, v types.Vote) types.Vote {
+	f.mu.Lock()
+	p := f.rng.Float64()
+	f.mu.Unlock()
+	switch {
+	case p < f.PSilent:
+		return types.VoteNone
+	case p < f.PSilent+f.PAbort:
+		return types.VoteAbort
+	default:
+		return v
+	}
+}
+
+// DropRead implements replica.ByzantineStrategy.
+func (f *FlakyReplica) DropRead(string) bool {
+	f.mu.Lock()
+	p := f.rng.Float64()
+	f.mu.Unlock()
+	return p < f.PDropRead
+}
+
+// Compile-time interface checks.
+var (
+	_ replica.ByzantineStrategy = VoteAbortReplica{}
+	_ replica.ByzantineStrategy = UnresponsiveReplica{}
+	_ replica.ByzantineStrategy = (*FlakyReplica)(nil)
+)

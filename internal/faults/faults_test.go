@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestVoteAbortReplica(t *testing.T) {
+	var s VoteAbortReplica
+	if s.MutateVote(types.TxID{}, types.VoteCommit) != types.VoteAbort {
+		t.Fatal("commit vote not flipped")
+	}
+	if s.DropRead("k") {
+		t.Fatal("reads should pass through")
+	}
+}
+
+func TestUnresponsiveReplica(t *testing.T) {
+	s := UnresponsiveReplica{Reads: true, Votes: true}
+	if s.MutateVote(types.TxID{}, types.VoteCommit) != types.VoteNone {
+		t.Fatal("vote not suppressed")
+	}
+	if !s.DropRead("k") {
+		t.Fatal("read not dropped")
+	}
+	quiet := UnresponsiveReplica{}
+	if quiet.MutateVote(types.TxID{}, types.VoteAbort) != types.VoteAbort {
+		t.Fatal("passive strategy changed the vote")
+	}
+	if quiet.DropRead("k") {
+		t.Fatal("passive strategy dropped a read")
+	}
+}
+
+func TestFlakyReplicaDistribution(t *testing.T) {
+	f := NewFlakyReplica(1, 0.3, 0.2, 0.5)
+	aborts, silents, passes := 0, 0, 0
+	for i := 0; i < 10_000; i++ {
+		switch f.MutateVote(types.TxID{}, types.VoteCommit) {
+		case types.VoteAbort:
+			aborts++
+		case types.VoteNone:
+			silents++
+		default:
+			passes++
+		}
+	}
+	frac := func(n int) float64 { return float64(n) / 10_000 }
+	if fa, fs := frac(aborts), frac(silents); fa < 0.25 || fa > 0.35 || fs < 0.15 || fs > 0.25 {
+		t.Fatalf("flaky distribution off: abort=%.3f silent=%.3f", fa, fs)
+	}
+	if passes == 0 {
+		t.Fatal("no votes passed through")
+	}
+	drops := 0
+	for i := 0; i < 10_000; i++ {
+		if f.DropRead("k") {
+			drops++
+		}
+	}
+	if fd := frac(drops); fd < 0.45 || fd > 0.55 {
+		t.Fatalf("drop rate off: %.3f", fd)
+	}
+}

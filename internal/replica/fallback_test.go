@@ -1,0 +1,61 @@
+package replica
+
+import "testing"
+
+func TestReconcileViewR1(t *testing.T) {
+	// Rule R1: 3f+1 matching views (f=1: strong=4) advance to v+1.
+	got := reconcileView(0, []uint64{0, 0, 0, 0, 0}, 4, 2)
+	if got != 1 {
+		t.Fatalf("R1 from uniform view 0: got %d want 1", got)
+	}
+	got = reconcileView(1, []uint64{3, 3, 3, 3}, 4, 2)
+	if got != 4 {
+		t.Fatalf("R1 from view 3 quorum: got %d want 4", got)
+	}
+}
+
+func TestReconcileViewR2(t *testing.T) {
+	// Rule R2: f+1 (weak=2) matching views allow a jump to that view.
+	got := reconcileView(0, []uint64{5, 5, 0}, 4, 2)
+	if got != 5 {
+		t.Fatalf("R2 jump: got %d want 5", got)
+	}
+	// A single high view is not enough evidence.
+	got = reconcileView(0, []uint64{9, 0, 0}, 4, 2)
+	if got == 9 {
+		t.Fatal("single vote should not justify a jump")
+	}
+}
+
+func TestReconcileViewSubsumption(t *testing.T) {
+	// Vote subsumption: view 4 counts as support for every view ≤ 4, so
+	// {4,4,3,3} gives view 3 four supporters -> advance to 4 under R1
+	// (strong=4); then view 4 itself has 2 supporters (weak) so the
+	// result must be ≥ 4.
+	got := reconcileView(0, []uint64{4, 4, 3, 3}, 4, 2)
+	if got < 4 {
+		t.Fatalf("subsumption lost support: got %d want >=4", got)
+	}
+}
+
+func TestReconcileViewNeverRegresses(t *testing.T) {
+	for _, views := range [][]uint64{nil, {0}, {1, 2, 3}, {9, 9, 9, 9, 9}} {
+		if got := reconcileView(7, views, 4, 2); got < 7 {
+			t.Fatalf("view regressed to %d from 7 with %v", got, views)
+		}
+	}
+}
+
+func TestLeaderRotationCoversAllReplicas(t *testing.T) {
+	r := &Replica{cfg: Config{F: 1}}
+	r.qc.F = 1
+	var id [32]byte
+	id[0] = 0xCD
+	seen := make(map[int32]bool)
+	for v := uint64(0); v < uint64(r.qc.N()); v++ {
+		seen[r.leaderFor(id, v)] = true
+	}
+	if len(seen) != r.qc.N() {
+		t.Fatalf("leader rotation covered %d of %d replicas", len(seen), r.qc.N())
+	}
+}

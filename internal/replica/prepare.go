@@ -1,0 +1,366 @@
+package replica
+
+import (
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// onST1 runs the Prepare-phase concurrency-control check (paper §4.2
+// step 2, Algorithm 1). A correct replica executes the check at most once
+// per transaction and stores its vote for duplicate and recovery requests.
+func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
+	if m.Meta == nil {
+		return
+	}
+	id := m.Meta.ID()
+	r.Stats.ST1s.Add(1)
+
+	r.mu.Lock()
+	t := r.txLocked(id)
+	if t.meta == nil {
+		t.meta = m.Meta
+	}
+	if m.Recovery {
+		t.interested[from] = m.ReqID
+	}
+	// Recovery fast-forward: if we already hold a certificate or a logged
+	// decision, return that instead of a plain vote (paper §5 common case).
+	if m.Recovery {
+		if rec := r.store.Tx(id); rec != nil && rec.Cert != nil &&
+			(rec.Status == store.StatusCommitted || rec.Status == store.StatusAborted) {
+			reply := &types.ST1Reply{
+				ReqID: m.ReqID, TxID: id, ShardID: r.cfg.Shard, ReplicaID: r.cfg.Index,
+				RPKind: types.RPCert, Cert: rec.Cert, CertMeta: rec.Meta,
+			}
+			r.mu.Unlock()
+			// Certificates are self-authenticating; no signature needed.
+			r.send(from, reply)
+			return
+		}
+		if t.decisionLogged {
+			r.replyLoggedDecisionLocked(from, m.ReqID, t)
+			r.mu.Unlock()
+			return
+		}
+	}
+	if t.voteReady {
+		r.sendVoteLocked(from, m.ReqID, t)
+		r.mu.Unlock()
+		return
+	}
+	if len(t.waitingOn) > 0 {
+		// Check already ran; still waiting on dependencies.
+		t.voteWaiters[from] = m.ReqID
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	vote, conflict, conflictMeta, blockedBy, pendingDeps, depAborted := r.runCheck(m.Meta, id)
+
+	r.mu.Lock()
+	t = r.txLocked(id)
+	if t.voteReady { // raced with a duplicate
+		r.sendVoteLocked(from, m.ReqID, t)
+		r.mu.Unlock()
+		return
+	}
+	if vote == types.VoteCommit && len(pendingDeps) > 0 {
+		// Algorithm 1 line 15: defer the vote until dependencies decide.
+		r.Stats.DepWaits.Add(1)
+		t.voteWaiters[from] = m.ReqID
+		t.depAborted = depAborted
+		for _, dep := range pendingDeps {
+			t.waitingOn[dep] = true
+			r.depWaiters[dep] = append(r.depWaiters[dep], id)
+		}
+		r.mu.Unlock()
+		return
+	}
+	if vote == types.VoteCommit && depAborted {
+		// Line 16–18: a dependency aborted; withdraw the prepare.
+		r.store.RemovePrepared(id)
+		vote = types.VoteAbort
+	}
+	r.finishVoteLocked(t, vote, conflict, conflictMeta)
+	if t.blockedBy == nil {
+		t.blockedBy = blockedBy
+	}
+	r.sendVoteLocked(from, m.ReqID, t)
+	r.mu.Unlock()
+}
+
+// runCheck performs Algorithm 1 lines 1–14 and classifies dependencies.
+// It returns the tentative vote, optional conflict evidence, the set of
+// still-undecided dependencies, and whether any dependency already aborted.
+func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *types.DecisionCert, *types.TxMeta, *types.TxMeta, []types.TxID, bool) {
+	// Line 1: timestamp admission.
+	if !r.withinDelta(meta.Timestamp) {
+		return types.VoteAbort, nil, nil, nil, nil, false
+	}
+	// Lines 3–4: dependency validity. Each dependency must name a
+	// transaction this replica has prepared or committed, producing the
+	// claimed version.
+	var pending []types.TxID
+	depAborted := false
+	for _, d := range meta.Deps {
+		rec := r.store.Tx(d.TxID)
+		if rec == nil || rec.Meta == nil || rec.Meta.Timestamp != d.Version {
+			return types.VoteAbort, nil, nil, nil, nil, false
+		}
+		switch rec.Status {
+		case store.StatusAborted:
+			depAborted = true
+		case store.StatusPrepared:
+			pending = append(pending, d.TxID)
+		}
+	}
+	// Lines 5–14: serializability checks + prepare.
+	res := r.store.CheckAndPrepare(meta, id)
+	switch res.Outcome {
+	case store.CheckMisbehavior:
+		r.Stats.Misbehavior.Add(1)
+		return types.VoteAbort, nil, nil, nil, nil, false
+	case store.CheckAbort:
+		return types.VoteAbort, res.Conflict, res.ConflictMeta, res.PreparedConflict, nil, false
+	case store.CheckDuplicate:
+		// Vote already stored (or the transaction is finalized); the
+		// caller resends the stored vote.
+		return types.VoteNone, nil, nil, nil, nil, false
+	}
+	return types.VoteCommit, nil, nil, nil, pending, depAborted
+}
+
+// finishVoteLocked fixes the replica's stage-1 vote. Caller holds r.mu.
+func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.DecisionCert, conflictMeta *types.TxMeta) {
+	if t.voteReady || vote == types.VoteNone {
+		if !t.voteReady && vote == types.VoteNone {
+			// Duplicate outcome without a stored vote can only happen if
+			// the transaction was finalized straight from a writeback;
+			// derive the vote from the final status.
+			switch r.store.TxStatusOf(t.id) {
+			case store.StatusCommitted:
+				t.vote, t.voteReady = types.VoteCommit, true
+			case store.StatusAborted:
+				t.vote, t.voteReady = types.VoteAbort, true
+			}
+		}
+		return
+	}
+	if r.cfg.Byzantine != nil {
+		vote = r.cfg.Byzantine.MutateVote(t.id, vote)
+		if vote == types.VoteNone {
+			return // suppressed
+		}
+	}
+	t.vote = vote
+	t.voteReady = true
+	t.voteConflict = conflict
+	t.conflictMeta = conflictMeta
+	if vote == types.VoteCommit {
+		r.Stats.VotesCommit.Add(1)
+	} else {
+		r.Stats.VotesAbort.Add(1)
+	}
+}
+
+// sendVoteLocked signs and sends the stored ST1 vote to one client.
+// Caller holds r.mu; the send happens on the batcher goroutine.
+func (r *Replica) sendVoteLocked(to transport.Addr, reqID uint64, t *txState) {
+	if !t.voteReady {
+		t.voteWaiters[to] = reqID
+		return
+	}
+	reply := &types.ST1Reply{
+		ReqID:        reqID,
+		TxID:         t.id,
+		ShardID:      r.cfg.Shard,
+		ReplicaID:    r.cfg.Index,
+		Vote:         t.vote,
+		Conflict:     t.voteConflict,
+		ConflictMeta: t.conflictMeta,
+		BlockedBy:    t.blockedBy,
+		RPKind:       types.RPVote,
+	}
+	r.signThen(reply.Payload(), func(sig types.Signature) {
+		reply.Sig = sig
+		r.send(to, reply)
+	})
+}
+
+// replyLoggedDecisionLocked answers a recovery request with the signed
+// logged ST2 decision. Caller holds r.mu.
+func (r *Replica) replyLoggedDecisionLocked(to transport.Addr, reqID uint64, t *txState) {
+	st2r := &types.ST2Reply{
+		ReqID:        reqID,
+		TxID:         t.id,
+		ShardID:      r.cfg.Shard,
+		ReplicaID:    r.cfg.Index,
+		Decision:     t.decision,
+		ViewDecision: t.viewDecision,
+		ViewCurrent:  t.viewCurrent,
+	}
+	reply := &types.ST1Reply{
+		ReqID: reqID, TxID: t.id, ShardID: r.cfg.Shard, ReplicaID: r.cfg.Index,
+		RPKind: types.RPDecision, Decision: t.decision, ST2R: st2r,
+	}
+	r.signThen(st2r.Payload(), func(sig types.Signature) {
+		st2r.Sig = sig
+		r.send(to, reply)
+	})
+}
+
+// onST2 logs the client's tentative 2PC decision on the logging shard
+// (paper §4.2 stage 2). The replica validates that the decision is
+// justified by the attached vote tallies; correct replicas never change a
+// logged decision within a view (equivocating clients therefore produce
+// divergent logs that only the fallback reconciles).
+func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
+	if m.Meta == nil || m.Meta.ID() != m.TxID {
+		return
+	}
+	if m.Meta.LogShard() != r.cfg.Shard {
+		return // not the logging shard for this transaction
+	}
+	r.Stats.ST2s.Add(1)
+	r.mu.Lock()
+	t := r.txLocked(m.TxID)
+	if t.meta == nil {
+		t.meta = m.Meta
+	}
+	t.interested[from] = m.ReqID
+	if !t.decisionLogged {
+		r.mu.Unlock()
+		// Validate outside the lock: signature checks are expensive.
+		if !r.cfg.AllowUnvalidatedST2 {
+			if err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies); err != nil {
+				return
+			}
+		}
+		r.mu.Lock()
+		t = r.txLocked(m.TxID)
+		if !t.decisionLogged && t.viewCurrent <= m.View {
+			t.decision = m.Decision
+			t.decisionLogged = true
+			t.viewDecision = m.View
+		}
+	}
+	r.replyLoggedDecisionST2Locked(from, m.ReqID, t)
+	r.mu.Unlock()
+}
+
+// replyLoggedDecisionST2Locked sends a plain ST2R. Caller holds r.mu.
+func (r *Replica) replyLoggedDecisionST2Locked(to transport.Addr, reqID uint64, t *txState) {
+	if !t.decisionLogged {
+		return
+	}
+	st2r := &types.ST2Reply{
+		ReqID:        reqID,
+		TxID:         t.id,
+		ShardID:      r.cfg.Shard,
+		ReplicaID:    r.cfg.Index,
+		Decision:     t.decision,
+		ViewDecision: t.viewDecision,
+		ViewCurrent:  t.viewCurrent,
+	}
+	r.signThen(st2r.Payload(), func(sig types.Signature) {
+		st2r.Sig = sig
+		r.send(to, st2r)
+	})
+}
+
+// onWriteback applies a decision certificate (paper §4.3 step 2): validate,
+// finalize the store, wake dependent transactions, and notify interested
+// recovery clients.
+func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
+	if m.Meta == nil || m.Cert == nil || m.Meta.ID() != m.TxID || m.Cert.TxID != m.TxID {
+		return
+	}
+	if m.Decision != m.Cert.Decision {
+		return
+	}
+	if err := r.qv.VerifyDecisionCert(m.Cert, m.Meta); err != nil {
+		return
+	}
+	r.Stats.Writebacks.Add(1)
+	r.finalize(m.TxID, m.Meta, m.Decision, m.Cert)
+}
+
+// finalize records a proven decision, updates the store, and resolves
+// dependency waits.
+func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) {
+	changed := r.store.Finalize(id, meta, dec, cert)
+	r.mu.Lock()
+	t := r.txLocked(id)
+	if t.meta == nil {
+		t.meta = meta
+	}
+	first := !t.finalized
+	t.finalized = true
+	if !t.voteReady {
+		// Align the stored vote with the outcome for late duplicate ST1s.
+		t.vote = types.VoteCommit
+		if dec == types.DecisionAbort {
+			t.vote = types.VoteAbort
+		}
+		t.voteReady = true
+	}
+	var waiters []types.TxID
+	if changed || first {
+		waiters = r.depWaiters[id]
+		delete(r.depWaiters, id)
+	}
+	interested := t.interested
+	t.interested = make(map[transport.Addr]uint64)
+	r.mu.Unlock()
+
+	// Notify clients that were recovering this transaction.
+	for addr, reqID := range interested {
+		reply := &types.ST1Reply{
+			ReqID: reqID, TxID: id, ShardID: r.cfg.Shard, ReplicaID: r.cfg.Index,
+			RPKind: types.RPCert, Cert: cert, CertMeta: meta,
+		}
+		r.send(addr, reply)
+	}
+
+	// Wake transactions whose votes were deferred on this dependency
+	// (Algorithm 1 lines 15–19).
+	for _, waiter := range waiters {
+		r.resolveDependency(waiter, id, dec)
+	}
+}
+
+// resolveDependency marks dep decided for the waiting transaction and, if
+// it was the last one, fixes and broadcasts the vote.
+func (r *Replica) resolveDependency(waiter, dep types.TxID, dec types.Decision) {
+	r.mu.Lock()
+	t := r.txs[waiter]
+	if t == nil || t.voteReady {
+		r.mu.Unlock()
+		return
+	}
+	delete(t.waitingOn, dep)
+	if dec == types.DecisionAbort {
+		t.depAborted = true
+	}
+	if len(t.waitingOn) > 0 {
+		r.mu.Unlock()
+		return
+	}
+	vote := types.VoteCommit
+	if t.depAborted {
+		r.store.RemovePrepared(waiter)
+		vote = types.VoteAbort
+	}
+	r.finishVoteLocked(t, vote, nil, nil)
+	waitersCopy := make(map[transport.Addr]uint64, len(t.voteWaiters))
+	for a, q := range t.voteWaiters {
+		waitersCopy[a] = q
+	}
+	t.voteWaiters = make(map[transport.Addr]uint64)
+	for addr, reqID := range waitersCopy {
+		r.sendVoteLocked(addr, reqID, t)
+	}
+	r.mu.Unlock()
+}

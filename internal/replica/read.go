@@ -1,0 +1,40 @@
+package replica
+
+import (
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// onRead handles the execution-phase read (paper §4.1 step 2): enforce the
+// δ bound, record the RTS, and return the latest committed and prepared
+// versions below the transaction timestamp, signed.
+func (r *Replica) onRead(from transport.Addr, m *types.ReadRequest) {
+	if r.cfg.Byzantine != nil && r.cfg.Byzantine.DropRead(m.Key) {
+		return
+	}
+	if !r.withinDelta(m.Ts) {
+		// Paper: the replica ignores over-δ requests. The client's read
+		// quorum absorbs the silence.
+		return
+	}
+	r.Stats.Reads.Add(1)
+	res := r.store.Read(m.Key, m.Ts)
+	reply := &types.ReadReply{
+		ReqID:     m.ReqID,
+		Key:       m.Key,
+		ShardID:   r.cfg.Shard,
+		ReplicaID: r.cfg.Index,
+		Committed: res.Committed,
+		Prepared:  res.Prepared,
+	}
+	r.signThen(reply.Payload(), func(sig types.Signature) {
+		reply.Sig = sig
+		r.send(from, reply)
+	})
+}
+
+// withinDelta implements the timestamp admission bound: accept iff
+// ts.Time ≤ local clock + δ.
+func (r *Replica) withinDelta(ts types.Timestamp) bool {
+	return ts.Time <= r.cfg.Clock.NowMicros()+r.cfg.DeltaMicros
+}

@@ -1,0 +1,225 @@
+// Package replica implements a Basil replica: the MVTSO read path, the
+// concurrency-control check of Algorithm 1 with dependency waiting, the
+// two-stage Prepare protocol (ST1 votes, ST2 decision logging), writeback
+// application, Merkle-batched reply signing (paper §4.4), and the
+// per-transaction fallback protocol (paper §5).
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Config parameterizes a replica.
+type Config struct {
+	Shard int32
+	Index int32 // replica index within the shard, 0..n-1
+	F     int   // per-shard fault threshold; n = 5f+1
+
+	// DeltaMicros is the δ admission bound: operations with timestamps
+	// beyond local-clock+δ are refused (paper §4.1 Begin).
+	DeltaMicros uint64
+
+	// BatchSize and BatchDelay configure reply-signature batching
+	// (paper §4.4). BatchSize 1 disables batching.
+	BatchSize  int
+	BatchDelay time.Duration
+
+	Clock    clock.Clock
+	Registry *cryptoutil.Registry
+	// SignerID is this replica's global key-registry index.
+	SignerID int32
+	// SignerOf maps any (shard, replica) to its registry index.
+	SignerOf quorum.SignerOf
+
+	Net transport.Network
+
+	// Byzantine, if non-nil, installs a misbehavior strategy (used by the
+	// fault-injection harness). Nil means a correct replica.
+	Byzantine ByzantineStrategy
+
+	// AllowUnvalidatedST2 disables ST2 tally validation. Experiment use
+	// only: it models the paper's "equiv-forced" worst case, where clients
+	// are artificially allowed to log conflicting decisions at will.
+	AllowUnvalidatedST2 bool
+}
+
+// ByzantineStrategy lets the fault harness corrupt a replica's visible
+// behavior at well-defined interception points.
+type ByzantineStrategy interface {
+	// MutateVote may flip the replica's ST1 vote. Returning VoteNone
+	// suppresses the reply entirely (unresponsiveness).
+	MutateVote(id types.TxID, vote types.Vote) types.Vote
+	// DropRead reports whether to ignore a read request.
+	DropRead(key string) bool
+}
+
+// txState is the replica's per-transaction protocol state beyond the
+// store's version bookkeeping.
+type txState struct {
+	id   types.TxID
+	meta *types.TxMeta
+
+	// Stage-1 vote, once determined. Correct replicas never change it.
+	vote         types.Vote
+	voteReady    bool
+	voteConflict *types.DecisionCert
+	conflictMeta *types.TxMeta
+	blockedBy    *types.TxMeta
+
+	// Dependency waiting (Algorithm 1 line 15).
+	waitingOn  map[types.TxID]bool
+	depAborted bool
+	// Clients owed an ST1R once the vote resolves: client addr -> reqID.
+	voteWaiters map[transport.Addr]uint64
+
+	// Stage-2 logged decision (paper §4.2 stage 2 / §5 views).
+	decision       types.Decision
+	decisionLogged bool
+	viewDecision   uint64
+	viewCurrent    uint64
+
+	// Fallback election state: ballots per view (leader role).
+	ballots map[uint64]map[int32]types.ElectFB
+
+	// Clients interested in this transaction's outcome (recovery).
+	interested map[transport.Addr]uint64
+
+	finalized bool
+}
+
+// Stats counts observable replica events; all fields are atomic.
+type Stats struct {
+	Reads          atomic.Uint64
+	ST1s           atomic.Uint64
+	VotesCommit    atomic.Uint64
+	VotesAbort     atomic.Uint64
+	Misbehavior    atomic.Uint64
+	DepWaits       atomic.Uint64
+	ST2s           atomic.Uint64
+	Writebacks     atomic.Uint64
+	FallbackInvoke atomic.Uint64
+	Elections      atomic.Uint64
+	DecFBs         atomic.Uint64
+	SigsSigned     atomic.Uint64
+	SigsVerified   atomic.Uint64
+}
+
+// Replica is one Basil replica for one shard.
+type Replica struct {
+	cfg     Config
+	qc      quorum.Config
+	addr    transport.Addr
+	signer  cryptoutil.Signer
+	batcher *cryptoutil.BatchSigner
+	sv      *cryptoutil.SigVerifier
+	qv      *quorum.Verifier
+	store   *store.Store
+
+	mu  sync.Mutex
+	txs map[types.TxID]*txState
+	// depWaiters: transaction id -> ids of transactions whose vote waits
+	// on its decision.
+	depWaiters map[types.TxID][]types.TxID
+
+	Stats Stats
+}
+
+// New constructs and registers a replica on cfg.Net.
+func New(cfg Config) *Replica {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = 500 * time.Microsecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	r := &Replica{
+		cfg:        cfg,
+		qc:         quorum.Config{F: cfg.F},
+		addr:       transport.ReplicaAddr(cfg.Shard, cfg.Index),
+		signer:     cfg.Registry.Signer(cfg.SignerID),
+		sv:         cryptoutil.NewSigVerifier(cfg.Registry, 4096),
+		store:      store.New(),
+		txs:        make(map[types.TxID]*txState),
+		depWaiters: make(map[types.TxID][]types.TxID),
+	}
+	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
+	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf}
+	cfg.Net.Register(r.addr, r)
+	return r
+}
+
+// Addr returns the replica's transport address.
+func (r *Replica) Addr() transport.Addr { return r.addr }
+
+// Store exposes the underlying store (examples, tests, GC drivers).
+func (r *Replica) Store() *store.Store { return r.store }
+
+// Close flushes the reply batcher.
+func (r *Replica) Close() { r.batcher.Close() }
+
+// LoadGenesis installs a key's initial value outside the protocol.
+func (r *Replica) LoadGenesis(key string, value []byte) {
+	r.store.ApplyGenesis(key, value)
+}
+
+// Deliver implements transport.Handler: the replica's single message loop.
+func (r *Replica) Deliver(from transport.Addr, msg any) {
+	switch m := msg.(type) {
+	case *types.ReadRequest:
+		r.onRead(from, m)
+	case *types.AbortRead:
+		r.store.DropRTS(m.Keys, m.Ts)
+	case *types.ST1Request:
+		r.onST1(from, m)
+	case *types.ST2Request:
+		r.onST2(from, m)
+	case *types.WritebackRequest:
+		r.onWriteback(from, m)
+	case *types.InvokeFB:
+		r.onInvokeFB(from, m)
+	case *types.ElectFB:
+		r.onElectFB(from, m)
+	case *types.DecFB:
+		r.onDecFB(from, m)
+	}
+}
+
+// tx returns (creating if needed) the protocol state for id.
+// Caller must hold r.mu.
+func (r *Replica) txLocked(id types.TxID) *txState {
+	t := r.txs[id]
+	if t == nil {
+		t = &txState{
+			id:          id,
+			waitingOn:   make(map[types.TxID]bool),
+			voteWaiters: make(map[transport.Addr]uint64),
+			interested:  make(map[transport.Addr]uint64),
+		}
+		r.txs[id] = t
+	}
+	return t
+}
+
+// send is a convenience wrapper.
+func (r *Replica) send(to transport.Addr, msg any) {
+	r.cfg.Net.Send(r.addr, to, msg)
+}
+
+// signThen enqueues payload for (batched) signing; done receives the
+// completed signature and typically attaches it to a reply and sends it.
+func (r *Replica) signThen(payload []byte, done func(types.Signature)) {
+	r.Stats.SigsSigned.Add(1)
+	r.batcher.Enqueue(payload, done)
+}

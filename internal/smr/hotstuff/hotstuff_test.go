@@ -1,0 +1,128 @@
+package hotstuff
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+type recorder struct {
+	mu   sync.Mutex
+	cmds map[int32][]string
+	ch   chan struct{}
+}
+
+func newRecorder() *recorder {
+	return &recorder{cmds: make(map[int32][]string), ch: make(chan struct{}, 4096)}
+}
+
+func (r *recorder) Execute(idx int32, blk *smr.Block) {
+	r.mu.Lock()
+	for _, c := range blk.Cmds {
+		r.cmds[idx] = append(r.cmds[idx], string(c.Payload))
+	}
+	r.mu.Unlock()
+	r.ch <- struct{}{}
+}
+
+func TestHotStuffThreeChainCommit(t *testing.T) {
+	rec := newRecorder()
+	net := transport.NewLocal()
+	defer net.Close()
+	g := NewGroup(Config{
+		Shard: 0, F: 1, BatchMax: 2, BatchDelay: time.Millisecond,
+		Registry: cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, 4, 1),
+		SignerOf: func(shard, replica int32) int32 { return replica },
+		Net:      net, Executor: rec,
+	})
+	defer g.Close()
+
+	client := transport.ClientAddr(1)
+	net.Register(client, transport.HandlerFunc(func(transport.Addr, any) {}))
+	const cmds = 5
+	for i := 0; i < cmds; i++ {
+		g.Submit(client, smr.Command{ClientID: 1, ReqID: uint64(i), Payload: []byte{byte('a' + i)}})
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		rec.mu.Lock()
+		full := 0
+		for _, cs := range rec.cmds {
+			if len(cs) >= cmds {
+				full++
+			}
+		}
+		rec.mu.Unlock()
+		if full == 4 {
+			break
+		}
+		select {
+		case <-rec.ch:
+		case <-deadline:
+			rec.mu.Lock()
+			defer rec.mu.Unlock()
+			t.Fatalf("three-chain never committed everything: %v", rec.cmds)
+		}
+	}
+	// Agreement: all replicas execute the same commands in the same order
+	// (duplicates permitted across blocks are deduplicated upstream; the
+	// chain itself must deliver identical sequences).
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	ref := rec.cmds[0]
+	for idx, cs := range rec.cmds {
+		if len(cs) < len(ref) {
+			t.Fatalf("replica %d short: %v vs %v", idx, cs, ref)
+		}
+		for i := range ref {
+			if cs[i] != ref[i] {
+				t.Fatalf("replica %d diverged: %v vs %v", idx, cs, ref)
+			}
+		}
+	}
+}
+
+func TestHotStuffIdleAfterCommit(t *testing.T) {
+	// The pacemaker must stop proposing empty blocks once all non-empty
+	// blocks have committed (no infinite churn on an idle group).
+	rec := newRecorder()
+	net := transport.NewLocal()
+	defer net.Close()
+	g := NewGroup(Config{
+		Shard: 0, F: 1, BatchMax: 1, BatchDelay: time.Millisecond,
+		Registry: cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, 4, 1),
+		SignerOf: func(shard, replica int32) int32 { return replica },
+		Net:      net, Executor: rec,
+	})
+	defer g.Close()
+	client := transport.ClientAddr(1)
+	net.Register(client, transport.HandlerFunc(func(transport.Addr, any) {}))
+	g.Submit(client, smr.Command{ClientID: 1, ReqID: 1, Payload: []byte("one")})
+
+	deadline := time.After(10 * time.Second)
+	for {
+		rec.mu.Lock()
+		n := len(rec.cmds[0])
+		rec.mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		select {
+		case <-rec.ch:
+		case <-deadline:
+			t.Fatal("single command never committed")
+		}
+	}
+	// Heights must stop advancing shortly after the commit.
+	time.Sleep(20 * time.Millisecond)
+	h1 := g.Replicas()[0].heightSnapshot()
+	time.Sleep(50 * time.Millisecond)
+	h2 := g.Replicas()[0].heightSnapshot()
+	if h2 > h1+1 {
+		t.Fatalf("chain still churning while idle: %d -> %d", h1, h2)
+	}
+}

@@ -1,0 +1,126 @@
+package pbft
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+// recorder captures execution order per replica.
+type recorder struct {
+	mu   sync.Mutex
+	seqs map[int32][]uint64
+	cmds map[int32][]string
+	ch   chan struct{}
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		seqs: make(map[int32][]uint64),
+		cmds: make(map[int32][]string),
+		ch:   make(chan struct{}, 4096),
+	}
+}
+
+func (r *recorder) Execute(idx int32, blk *smr.Block) {
+	r.mu.Lock()
+	r.seqs[idx] = append(r.seqs[idx], blk.Seq)
+	for _, c := range blk.Cmds {
+		r.cmds[idx] = append(r.cmds[idx], string(c.Payload))
+	}
+	r.mu.Unlock()
+	r.ch <- struct{}{}
+}
+
+func newGroup(t *testing.T, batch int, rec *recorder) (*Group, *transport.Local) {
+	t.Helper()
+	net := transport.NewLocal()
+	cfg := Config{
+		Shard: 0, F: 1, BatchMax: batch, BatchDelay: time.Millisecond,
+		Registry: cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, 4, 1),
+		SignerOf: func(shard, replica int32) int32 { return replica },
+		Net:      net, Executor: rec,
+	}
+	return NewGroup(cfg), net
+}
+
+func TestPBFTOrdersAndExecutesEverywhere(t *testing.T) {
+	rec := newRecorder()
+	g, net := newGroup(t, 2, rec)
+	defer net.Close()
+	defer g.Close()
+
+	client := transport.ClientAddr(1)
+	net.Register(client, transport.HandlerFunc(func(transport.Addr, any) {}))
+	const cmds = 6
+	for i := 0; i < cmds; i++ {
+		g.Submit(client, smr.Command{ClientID: 1, ReqID: uint64(i), Payload: []byte{byte('a' + i)}})
+	}
+	// Wait for all four replicas to execute all commands.
+	deadline := time.After(5 * time.Second)
+	for {
+		rec.mu.Lock()
+		done := 0
+		for _, cs := range rec.cmds {
+			if len(cs) == cmds {
+				done++
+			}
+		}
+		rec.mu.Unlock()
+		if done == 4 {
+			break
+		}
+		select {
+		case <-rec.ch:
+		case <-deadline:
+			t.Fatalf("replicas never executed all commands: %v", rec.cmds)
+		}
+	}
+	// All replicas must agree on the exact execution order.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	ref := rec.cmds[0]
+	for idx, cs := range rec.cmds {
+		for i := range ref {
+			if cs[i] != ref[i] {
+				t.Fatalf("replica %d diverged at %d: %v vs %v", idx, i, cs, ref)
+			}
+		}
+	}
+	// Sequence numbers must be strictly increasing per replica.
+	for idx, seqs := range rec.seqs {
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] <= seqs[i-1] {
+				t.Fatalf("replica %d executed out of order: %v", idx, seqs)
+			}
+		}
+	}
+}
+
+func TestPBFTBatchTimerFlushesPartialBatch(t *testing.T) {
+	rec := newRecorder()
+	g, net := newGroup(t, 100, rec) // batch never fills; timer must fire
+	defer net.Close()
+	defer g.Close()
+	client := transport.ClientAddr(1)
+	net.Register(client, transport.HandlerFunc(func(transport.Addr, any) {}))
+	g.Submit(client, smr.Command{ClientID: 1, ReqID: 1, Payload: []byte("solo")})
+	deadline := time.After(5 * time.Second)
+	for {
+		rec.mu.Lock()
+		n := len(rec.cmds[0])
+		rec.mu.Unlock()
+		if n == 1 {
+			return
+		}
+		select {
+		case <-rec.ch:
+		case <-deadline:
+			t.Fatal("partial batch never flushed")
+		}
+	}
+}

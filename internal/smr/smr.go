@@ -1,0 +1,59 @@
+// Package smr defines the ordered-log abstraction shared by the two BFT
+// baselines (paper §6): a PBFT-style log (the BFT-SMaRt stand-in) and a
+// chained-HotStuff log. The transaction layer (internal/txbase) executes
+// committed commands on every replica and replies to clients.
+//
+// Both baselines run n = 3f+1 replicas per shard and, per the paper's
+// setup, are evaluated in gracious executions (stable leader, no replica
+// crashes); view-change machinery is therefore intentionally minimal.
+package smr
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Command is one opaque client request to be totally ordered.
+type Command struct {
+	ClientID uint64
+	ReqID    uint64
+	Payload  []byte
+}
+
+// AppendCanonical appends the command's deterministic encoding.
+func (c *Command) AppendCanonical(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, c.ClientID)
+	b = binary.BigEndian.AppendUint64(b, c.ReqID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(c.Payload)))
+	return append(b, c.Payload...)
+}
+
+// Block is a batch of commands occupying one log slot.
+type Block struct {
+	Seq  uint64
+	Cmds []Command
+}
+
+// Digest hashes a block deterministically.
+func (b *Block) Digest() [32]byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.BigEndian.AppendUint64(buf, b.Seq)
+	for i := range b.Cmds {
+		buf = b.Cmds[i].AppendCanonical(buf)
+	}
+	return sha256.Sum256(buf)
+}
+
+// Executor consumes committed blocks in sequence order on one replica.
+// Deliver runs on the replica's dispatch goroutine.
+type Executor interface {
+	Execute(replicaIndex int32, blk *Block)
+}
+
+// Log is a replicated ordered log viewed from one client-side submission
+// point. Submit hands a command to the current leader (or all replicas,
+// implementation-specific); ordering and execution happen asynchronously.
+type Log interface {
+	Submit(cmd Command)
+	Close()
+}

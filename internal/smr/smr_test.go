@@ -1,0 +1,29 @@
+package smr
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCommandCanonicalDeterministic(t *testing.T) {
+	c := Command{ClientID: 7, ReqID: 9, Payload: []byte("abc")}
+	if !bytes.Equal(c.AppendCanonical(nil), c.AppendCanonical(nil)) {
+		t.Fatal("command encoding nondeterministic")
+	}
+	d := Command{ClientID: 7, ReqID: 9, Payload: []byte("abd")}
+	if bytes.Equal(c.AppendCanonical(nil), d.AppendCanonical(nil)) {
+		t.Fatal("different payloads encode identically")
+	}
+}
+
+func TestBlockDigestBindsContents(t *testing.T) {
+	b1 := &Block{Seq: 1, Cmds: []Command{{ClientID: 1, ReqID: 1, Payload: []byte("x")}}}
+	b2 := &Block{Seq: 1, Cmds: []Command{{ClientID: 1, ReqID: 1, Payload: []byte("y")}}}
+	b3 := &Block{Seq: 2, Cmds: b1.Cmds}
+	if b1.Digest() == b2.Digest() || b1.Digest() == b3.Digest() {
+		t.Fatal("block digest does not bind contents")
+	}
+	if b1.Digest() != b1.Digest() {
+		t.Fatal("digest nondeterministic")
+	}
+}

@@ -1,0 +1,537 @@
+// Package store implements the multiversioned storage a Basil replica
+// keeps per shard: committed version chains, prepared (visible but
+// uncommitted) writes, reader records, and read timestamps (RTS), plus the
+// serializability portion of the MVTSO-Check (Algorithm 1 steps 3–6).
+//
+// The store is a passive data structure guarded by one mutex; the replica
+// layer supplies timestamps-bound checks, dependency waiting and votes.
+package store
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// TxStatus tracks a transaction's lifecycle at this replica.
+type TxStatus uint8
+
+// Transaction statuses.
+const (
+	StatusUnknown TxStatus = iota
+	StatusPrepared
+	StatusCommitted
+	StatusAborted
+)
+
+// TxRecord is the replica's bookkeeping for one transaction.
+type TxRecord struct {
+	Meta   *types.TxMeta
+	Status TxStatus
+	Cert   *types.DecisionCert // set once finalized with a certificate
+}
+
+// writeRec is one (possibly uncommitted) version of a key.
+type writeRec struct {
+	ver       types.Timestamp
+	value     []byte
+	writer    types.TxID
+	committed bool
+}
+
+// readRec records a read performed by a prepared or committed transaction;
+// needed for Algorithm 1 line 10 (writes must not invalidate the reads of
+// already-validated transactions).
+type readRec struct {
+	readerTs types.Timestamp
+	readVer  types.Timestamp
+	reader   types.TxID
+}
+
+type keyEntry struct {
+	// writes sorted ascending by version timestamp.
+	writes []writeRec
+	// readers of this key from prepared/committed transactions.
+	readers []readRec
+	// rts holds the read timestamps of ongoing (not yet prepared)
+	// transactions, reference-counted because retries may re-read.
+	rts    map[types.Timestamp]int
+	maxRTS types.Timestamp
+}
+
+// Store is one shard's multiversioned state at one replica.
+type Store struct {
+	mu   sync.Mutex
+	keys map[string]*keyEntry
+	txns map[types.TxID]*TxRecord
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		keys: make(map[string]*keyEntry),
+		txns: make(map[types.TxID]*TxRecord),
+	}
+}
+
+func (s *Store) key(k string) *keyEntry {
+	e := s.keys[k]
+	if e == nil {
+		e = &keyEntry{rts: make(map[types.Timestamp]int)}
+		s.keys[k] = e
+	}
+	return e
+}
+
+// ApplyGenesis installs the load-time value of key at the zero timestamp.
+// Genesis versions carry no certificate and are trusted by all nodes.
+func (s *Store) ApplyGenesis(k string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.key(k)
+	rec := writeRec{value: value, committed: true}
+	if len(e.writes) > 0 && e.writes[0].ver.IsZero() {
+		e.writes[0] = rec
+		return
+	}
+	e.writes = append([]writeRec{rec}, e.writes...)
+}
+
+// insertWrite places w into e.writes keeping version order.
+func (e *keyEntry) insertWrite(w writeRec) {
+	i := len(e.writes)
+	for i > 0 && w.ver.Less(e.writes[i-1].ver) {
+		i--
+	}
+	e.writes = append(e.writes, writeRec{})
+	copy(e.writes[i+1:], e.writes[i:])
+	e.writes[i] = w
+}
+
+// removeWritesBy drops all writes by tx from e.
+func (e *keyEntry) removeWritesBy(tx types.TxID) {
+	out := e.writes[:0]
+	for _, w := range e.writes {
+		if w.writer != tx {
+			out = append(out, w)
+		}
+	}
+	e.writes = out
+}
+
+// removeReadersBy drops all reader records by tx from e.
+func (e *keyEntry) removeReadersBy(tx types.TxID) {
+	out := e.readers[:0]
+	for _, r := range e.readers {
+		if r.reader != tx {
+			out = append(out, r)
+		}
+	}
+	e.readers = out
+}
+
+// ReadResult carries the replica's two read branches (paper §4.1 step 2).
+type ReadResult struct {
+	Committed      *types.CommittedRead
+	Prepared       *types.PreparedRead
+	PreparedWriter *TxRecord
+}
+
+// Read returns the latest committed and latest prepared versions of key
+// with timestamps strictly below ts, and records ts in the key's RTS set.
+func (s *Store) Read(k string, ts types.Timestamp) ReadResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.key(k)
+	// Record the read timestamp.
+	e.rts[ts]++
+	if e.maxRTS.Less(ts) {
+		e.maxRTS = ts
+	}
+	var res ReadResult
+	for i := len(e.writes) - 1; i >= 0; i-- {
+		w := e.writes[i]
+		if !w.ver.Less(ts) {
+			continue
+		}
+		if w.committed {
+			if res.Committed == nil {
+				rec := s.txns[w.writer]
+				cr := &types.CommittedRead{Value: w.value}
+				if rec != nil {
+					cr.WriterMeta = rec.Meta
+					cr.Cert = rec.Cert
+				}
+				res.Committed = cr
+			}
+			// Prepared versions older than the newest committed one are
+			// irrelevant: the committed branch dominates them.
+			break
+		}
+		if res.Prepared == nil {
+			rec := s.txns[w.writer]
+			if rec != nil && rec.Status == StatusPrepared {
+				res.Prepared = &types.PreparedRead{Value: w.value, WriterMeta: rec.Meta}
+				res.PreparedWriter = rec
+			}
+		}
+	}
+	return res
+}
+
+// DropRTS releases one reference of ts from each key (client Abort during
+// execution, paper §4.1).
+func (s *Store) DropRTS(keys []string, ts types.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		e := s.keys[k]
+		if e == nil {
+			continue
+		}
+		if n := e.rts[ts]; n > 1 {
+			e.rts[ts] = n - 1
+		} else {
+			delete(e.rts, ts)
+			if ts == e.maxRTS {
+				e.maxRTS = types.Timestamp{}
+				for t := range e.rts {
+					if e.maxRTS.Less(t) {
+						e.maxRTS = t
+					}
+				}
+			}
+		}
+	}
+}
+
+// CheckOutcome is the store-level verdict of the MVTSO check.
+type CheckOutcome uint8
+
+// Check outcomes.
+const (
+	// CheckOK: the transaction passed lines 5–13 and was added to the
+	// prepared set (line 14). The replica still waits on dependencies.
+	CheckOK CheckOutcome = iota
+	// CheckAbort: a serializability conflict (lines 7–13).
+	CheckAbort
+	// CheckMisbehavior: the read set claims a version from the future
+	// (line 6) — proof of client misbehavior.
+	CheckMisbehavior
+	// CheckDuplicate: the transaction was already prepared/finalized here.
+	CheckDuplicate
+)
+
+// CheckResult reports the outcome plus conflict evidence: when aborting
+// because of a committed transaction, its certificate (the "optional
+// (T', T'.C-CERT)" of Algorithm 1 lines 8 and 11); when aborting because
+// of a prepared-but-undecided transaction, that transaction's metadata so
+// the client can finish it via the fallback (the §5 invariant: whoever is
+// aborted by T can complete T).
+type CheckResult struct {
+	Outcome      CheckOutcome
+	Conflict     *types.DecisionCert
+	ConflictMeta *types.TxMeta
+	// PreparedConflict is the metadata of the undecided transaction that
+	// caused the abort, if any.
+	PreparedConflict *types.TxMeta
+}
+
+// CheckAndPrepare runs Algorithm 1 lines 5–14 atomically: validates the
+// read set against newer writes, the write set against validated readers
+// and outstanding RTS, and on success makes the transaction's writes
+// visible as prepared versions.
+func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec := s.txns[id]; rec != nil {
+		return CheckResult{Outcome: CheckDuplicate}
+	}
+	ts := meta.Timestamp
+	// Lines 5–8: reads must not have missed a write.
+	for _, r := range meta.ReadSet {
+		if ts.Less(r.Version) || ts == r.Version {
+			return CheckResult{Outcome: CheckMisbehavior}
+		}
+		e := s.keys[r.Key]
+		if e == nil {
+			continue
+		}
+		// Note: the read version need not exist locally — the client may
+		// have read from other replicas (prepared-version deps are
+		// separately validated by the replica layer). Line 7 only demands
+		// that no newer-but-older-than-ts write exists here.
+		for _, w := range e.writes {
+			if r.Version.Less(w.ver) && w.ver.Less(ts) {
+				res := CheckResult{Outcome: CheckAbort}
+				if rec := s.txns[w.writer]; rec != nil {
+					if w.committed && rec.Cert != nil {
+						res.Conflict = rec.Cert
+						res.ConflictMeta = rec.Meta
+					} else if rec.Status == StatusPrepared {
+						res.PreparedConflict = rec.Meta
+					}
+				}
+				return res
+			}
+		}
+	}
+	// Lines 9–13: writes must not invalidate validated readers or
+	// outstanding reads.
+	for _, w := range meta.WriteSet {
+		e := s.keys[w.Key]
+		if e == nil {
+			continue
+		}
+		for _, rd := range e.readers {
+			if rd.readVer.Less(ts) && ts.Less(rd.readerTs) {
+				res := CheckResult{Outcome: CheckAbort}
+				if rec := s.txns[rd.reader]; rec != nil {
+					if rec.Status == StatusCommitted && rec.Cert != nil {
+						res.Conflict = rec.Cert
+						res.ConflictMeta = rec.Meta
+					} else if rec.Status == StatusPrepared {
+						res.PreparedConflict = rec.Meta
+					}
+				}
+				return res
+			}
+		}
+		if ts.Less(e.maxRTS) {
+			// Line 12: an ongoing read with a higher timestamp exists.
+			return CheckResult{Outcome: CheckAbort}
+		}
+	}
+	// Line 14: prepare and make writes visible.
+	rec := &TxRecord{Meta: meta, Status: StatusPrepared}
+	s.txns[id] = rec
+	for _, w := range meta.WriteSet {
+		s.key(w.Key).insertWrite(writeRec{ver: ts, value: w.Value, writer: id})
+	}
+	for _, r := range meta.ReadSet {
+		e := s.key(r.Key)
+		e.readers = append(e.readers, readRec{readerTs: ts, readVer: r.Version, reader: id})
+		// The transaction has been validated; its execution-time RTS
+		// reservation is superseded by the reader record.
+		if n := e.rts[ts]; n > 1 {
+			e.rts[ts] = n - 1
+		} else if n == 1 {
+			delete(e.rts, ts)
+		}
+	}
+	return CheckResult{Outcome: CheckOK}
+}
+
+// Finalize applies a commit or abort decision. For commits the prepared
+// writes become committed versions (installing meta's writes even if the
+// transaction was never prepared here, e.g. a writeback received by a
+// replica that missed ST1). It returns true if the status changed.
+func (s *Store) Finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.txns[id]
+	if rec == nil {
+		rec = &TxRecord{Meta: meta}
+		s.txns[id] = rec
+	}
+	if rec.Meta == nil {
+		rec.Meta = meta
+	}
+	switch rec.Status {
+	case StatusCommitted, StatusAborted:
+		if cert != nil && rec.Cert == nil {
+			rec.Cert = cert
+		}
+		return false
+	}
+	if cert != nil {
+		rec.Cert = cert
+	}
+	if dec == types.DecisionCommit {
+		rec.Status = StatusCommitted
+		wasPrepared := false
+		if rec.Meta != nil {
+			for _, w := range rec.Meta.WriteSet {
+				e := s.key(w.Key)
+				found := false
+				for i := range e.writes {
+					if e.writes[i].writer == id {
+						e.writes[i].committed = true
+						found = true
+					}
+				}
+				if !found {
+					e.insertWrite(writeRec{ver: rec.Meta.Timestamp, value: w.Value, writer: id, committed: true})
+				} else {
+					wasPrepared = true
+				}
+			}
+			if !wasPrepared {
+				// Install reader records too so future conflicting writes
+				// are caught (line 10) even on replicas that skipped ST1.
+				for _, r := range rec.Meta.ReadSet {
+					e := s.key(r.Key)
+					e.readers = append(e.readers, readRec{readerTs: rec.Meta.Timestamp, readVer: r.Version, reader: id})
+				}
+			}
+		}
+	} else {
+		rec.Status = StatusAborted
+		if rec.Meta != nil {
+			for _, w := range rec.Meta.WriteSet {
+				if e := s.keys[w.Key]; e != nil {
+					e.removeWritesBy(id)
+				}
+			}
+			for _, r := range rec.Meta.ReadSet {
+				if e := s.keys[r.Key]; e != nil {
+					e.removeReadersBy(id)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RemovePrepared withdraws a prepared transaction entirely (Algorithm 1
+// line 17: a replica that votes abort after dependency resolution removes
+// the transaction from the prepared set). No-op unless id is prepared.
+func (s *Store) RemovePrepared(id types.TxID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.txns[id]
+	if rec == nil || rec.Status != StatusPrepared {
+		return
+	}
+	if rec.Meta != nil {
+		for _, w := range rec.Meta.WriteSet {
+			if e := s.keys[w.Key]; e != nil {
+				e.removeWritesBy(id)
+			}
+		}
+		for _, r := range rec.Meta.ReadSet {
+			if e := s.keys[r.Key]; e != nil {
+				e.removeReadersBy(id)
+			}
+		}
+	}
+	delete(s.txns, id)
+}
+
+// Tx returns the record for id, or nil.
+func (s *Store) Tx(id types.TxID) *TxRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txns[id]
+}
+
+// TxStatusOf returns the lifecycle status of id.
+func (s *Store) TxStatusOf(id types.TxID) TxStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec := s.txns[id]; rec != nil {
+		return rec.Status
+	}
+	return StatusUnknown
+}
+
+// LatestCommitted returns the newest committed version of key, for
+// debugging and example tooling.
+func (s *Store) LatestCommitted(k string) (types.Timestamp, []byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.keys[k]
+	if e == nil {
+		return types.Timestamp{}, nil, false
+	}
+	for i := len(e.writes) - 1; i >= 0; i-- {
+		if e.writes[i].committed {
+			return e.writes[i].ver, e.writes[i].value, true
+		}
+	}
+	return types.Timestamp{}, nil, false
+}
+
+// GC discards committed versions, reader records and RTS entries strictly
+// older than the watermark, keeping at least the newest committed version
+// at or below it per key. Prepared writes are never collected. Returns the
+// number of records dropped.
+func (s *Store) GC(watermark types.Timestamp) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, e := range s.keys {
+		// Find the newest committed version ≤ watermark; keep it.
+		keepIdx := -1
+		for i := len(e.writes) - 1; i >= 0; i-- {
+			if e.writes[i].committed && !watermark.Less(e.writes[i].ver) {
+				keepIdx = i
+				break
+			}
+		}
+		if keepIdx > 0 {
+			out := e.writes[:0]
+			for i, w := range e.writes {
+				if i < keepIdx && w.committed && w.ver.Less(e.writes[keepIdx].ver) {
+					dropped++
+					continue
+				}
+				out = append(out, w)
+			}
+			e.writes = out
+		}
+		rd := e.readers[:0]
+		for _, r := range e.readers {
+			if r.readerTs.Less(watermark) {
+				dropped++
+				continue
+			}
+			rd = append(rd, r)
+		}
+		e.readers = rd
+		for ts := range e.rts {
+			if ts.Less(watermark) {
+				delete(e.rts, ts)
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// Stats reports store sizes for monitoring.
+type Stats struct {
+	Keys      int
+	Versions  int
+	Readers   int
+	RTS       int
+	Txns      int
+	Prepared  int
+	Committed int
+	Aborted   int
+}
+
+// StatsSnapshot returns current sizes.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st Stats
+	st.Keys = len(s.keys)
+	for _, e := range s.keys {
+		st.Versions += len(e.writes)
+		st.Readers += len(e.readers)
+		st.RTS += len(e.rts)
+	}
+	st.Txns = len(s.txns)
+	for _, r := range s.txns {
+		switch r.Status {
+		case StatusPrepared:
+			st.Prepared++
+		case StatusCommitted:
+			st.Committed++
+		case StatusAborted:
+			st.Aborted++
+		}
+	}
+	return st
+}

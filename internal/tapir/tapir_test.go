@@ -1,0 +1,135 @@
+package tapir
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func enc(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	cl := NewCluster(Config{F: 1, Shards: 1})
+	defer cl.Close()
+	cl.Load("x", enc(3))
+	c := cl.NewClient()
+	tx := c.Begin()
+	v, err := tx.Read("x")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if dec(v) != 3 {
+		t.Fatalf("x=%d want 3", dec(v))
+	}
+	tx.Write("x", enc(4))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	tx2 := c.Begin()
+	v, _ = tx2.Read("x")
+	tx2.Abort()
+	if dec(v) != 4 {
+		t.Fatalf("x=%d want 4", dec(v))
+	}
+}
+
+func TestFastPathCounted(t *testing.T) {
+	cl := NewCluster(Config{F: 1, Shards: 1})
+	defer cl.Close()
+	cl.Load("k", enc(0))
+	c := cl.NewClient()
+	for i := 0; i < 5; i++ {
+		tx := c.Begin()
+		tx.Write("k", enc(uint64(i)))
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	if c.Stats.FastPath.Load() == 0 {
+		t.Fatal("expected fast-path commits")
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	cl := NewCluster(Config{F: 1, Shards: 1})
+	defer cl.Close()
+	cl.Load("ctr", enc(0))
+	const workers, per = 4, 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits := 0
+	for w := 0; w < workers; w++ {
+		c := cl.NewClient()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					tx := c.Begin()
+					v, err := tx.Read("ctr")
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					tx.Write("ctr", enc(dec(v)+1))
+					if err := tx.Commit(); err == nil {
+						mu.Lock()
+						commits++
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c := cl.NewClient()
+	tx := c.Begin()
+	v, err := tx.Read("ctr")
+	if err != nil {
+		t.Fatalf("final read: %v", err)
+	}
+	tx.Abort()
+	if dec(v) != workers*per {
+		t.Fatalf("ctr=%d want %d", dec(v), workers*per)
+	}
+}
+
+func TestCrossShard(t *testing.T) {
+	cl := NewCluster(Config{F: 1, Shards: 2,
+		ShardOf: func(k string) int32 { return int32(k[0]) % 2 }})
+	defer cl.Close()
+	cl.Load("a", enc(10))
+	cl.Load("b", enc(20))
+	c := cl.NewClient()
+	tx := c.Begin()
+	a, err := tx.Read("a")
+	if err != nil {
+		t.Fatalf("read a: %v", err)
+	}
+	b, err := tx.Read("b")
+	if err != nil {
+		t.Fatalf("read b: %v", err)
+	}
+	tx.Write("a", enc(dec(a)+dec(b)))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	tx2 := c.Begin()
+	a, _ = tx2.Read("a")
+	tx2.Abort()
+	if dec(a) != 30 {
+		t.Fatalf("a=%d want 30", dec(a))
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// LinkPolicy lets tests and the fault harness shape the network: it is
+// consulted on every send and may drop the message or delay its delivery.
+// A nil policy delivers everything immediately.
+type LinkPolicy func(from, to Addr, msg any) (delay time.Duration, drop bool)
+
+// Local is an in-process network. Each registered node gets an unbounded
+// mailbox drained by one dispatch goroutine, so a node processes messages
+// sequentially while different nodes run in parallel.
+type Local struct {
+	mu     sync.RWMutex
+	nodes  map[Addr]*localNode
+	policy LinkPolicy
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type localNode struct {
+	box *mailbox
+	h   Handler
+}
+
+// NewLocal creates an empty local network.
+func NewLocal() *Local {
+	return &Local{nodes: make(map[Addr]*localNode)}
+}
+
+// SetPolicy installs a link policy. Safe to call while traffic flows.
+func (l *Local) SetPolicy(p LinkPolicy) {
+	l.mu.Lock()
+	l.policy = p
+	l.mu.Unlock()
+}
+
+// Register implements Network.
+func (l *Local) Register(addr Addr, h Handler) {
+	n := &localNode{box: newMailbox(), h: h}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.nodes[addr] = n
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			e, ok := n.box.pop()
+			if !ok {
+				return
+			}
+			n.h.Deliver(e.from, e.msg)
+		}
+	}()
+}
+
+// Send implements Network.
+func (l *Local) Send(from, to Addr, msg any) {
+	l.mu.RLock()
+	node := l.nodes[to]
+	policy := l.policy
+	closed := l.closed
+	l.mu.RUnlock()
+	if node == nil || closed {
+		return
+	}
+	if policy != nil {
+		delay, drop := policy(from, to, msg)
+		if drop {
+			return
+		}
+		if delay > 0 {
+			time.AfterFunc(delay, func() { node.box.push(envelope{from: from, msg: msg}) })
+			return
+		}
+	}
+	node.box.push(envelope{from: from, msg: msg})
+}
+
+// Close implements Network. It stops all dispatchers and waits for them.
+func (l *Local) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	nodes := make([]*localNode, 0, len(l.nodes))
+	for _, n := range l.nodes {
+		nodes = append(nodes, n)
+	}
+	l.mu.Unlock()
+	for _, n := range nodes {
+		n.box.close()
+	}
+	l.wg.Wait()
+}

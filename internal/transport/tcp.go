@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TCP is a gob-over-TCP implementation of Network for real multi-process
+// deployments: each process runs one TCP listener serving all the nodes it
+// hosts, and an address book maps transport addresses to host:port pairs.
+//
+// Outbound connections are created lazily, cached, and serialized per
+// destination. Failures drop messages (the asynchronous network model);
+// protocols already tolerate loss.
+type TCP struct {
+	book map[Addr]string // transport addr -> host:port
+
+	mu       sync.Mutex
+	handlers map[Addr]Handler
+	conns    map[string]*tcpConn
+	// reverse maps a remote node's transport address to the inbound
+	// connection its traffic arrives on, so replies reach nodes that are
+	// not in the address book (clients behind ephemeral ports).
+	reverse map[Addr]*tcpConn
+	inbound []net.Conn
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// wireMsg is the on-the-wire envelope.
+type wireMsg struct {
+	From    Addr
+	To      Addr
+	Payload any
+}
+
+func init() {
+	// Register every protocol message for gob. Names are stable across
+	// binaries built from this module.
+	gob.Register(&types.ReadRequest{})
+	gob.Register(&types.ReadReply{})
+	gob.Register(&types.AbortRead{})
+	gob.Register(&types.ST1Request{})
+	gob.Register(&types.ST1Reply{})
+	gob.Register(&types.ST2Request{})
+	gob.Register(&types.ST2Reply{})
+	gob.Register(&types.WritebackRequest{})
+	gob.Register(&types.InvokeFB{})
+	gob.Register(&types.ElectFB{})
+	gob.Register(&types.DecFB{})
+}
+
+// NewTCP creates a TCP network listening on listen (empty for client-only
+// processes that host no replicas) with the given address book.
+func NewTCP(listen string, book map[Addr]string) (*TCP, error) {
+	t := &TCP{
+		book:     book,
+		handlers: make(map[Addr]Handler),
+		conns:    make(map[string]*tcpConn),
+		reverse:  make(map[Addr]*tcpConn),
+	}
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// ListenAddr returns the bound listen address (useful with ":0").
+func (t *TCP) ListenAddr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// SetRoute adds or updates an address-book entry.
+func (t *TCP) SetRoute(a Addr, hostport string) {
+	t.mu.Lock()
+	t.book[a] = hostport
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+func (t *TCP) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.inbound = append(t.inbound, c)
+	t.mu.Unlock()
+	dec := gob.NewDecoder(c)
+	back := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handlers[m.To]
+		if _, known := t.book[m.From]; !known {
+			t.reverse[m.From] = back
+		}
+		t.mu.Unlock()
+		if h != nil {
+			h.Deliver(m.From, m.Payload)
+		}
+	}
+}
+
+// Register implements Network. Unlike Local, delivery runs on the
+// connection-reading goroutine; handlers are already required not to block
+// indefinitely.
+func (t *TCP) Register(addr Addr, h Handler) {
+	t.mu.Lock()
+	t.handlers[addr] = h
+	t.mu.Unlock()
+}
+
+// Send implements Network. Messages to locally registered handlers are
+// delivered directly; everything else is encoded onto a cached connection.
+func (t *TCP) Send(from, to Addr, msg any) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if h := t.handlers[to]; h != nil {
+		t.mu.Unlock()
+		h.Deliver(from, msg)
+		return
+	}
+	hostport := t.book[to]
+	var conn *tcpConn
+	if hostport == "" {
+		conn = t.reverse[to]
+	}
+	t.mu.Unlock()
+	if conn == nil {
+		if hostport == "" {
+			return // unknown destination: dropped
+		}
+		var err error
+		conn, err = t.conn(hostport)
+		if err != nil {
+			return
+		}
+	}
+	conn.mu.Lock()
+	err := conn.enc.Encode(wireMsg{From: from, To: to, Payload: msg})
+	conn.mu.Unlock()
+	if err != nil && hostport != "" {
+		t.dropConn(hostport, conn)
+	}
+}
+
+func (t *TCP) conn(hostport string) (*tcpConn, error) {
+	t.mu.Lock()
+	if c := t.conns[hostport]; c != nil {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	raw, err := net.DialTimeout("tcp", hostport, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		raw.Close()
+		return nil, errors.New("transport: closed")
+	}
+	if prev := t.conns[hostport]; prev != nil {
+		t.mu.Unlock()
+		raw.Close()
+		return prev, nil
+	}
+	t.conns[hostport] = c
+	t.wg.Add(1)
+	t.mu.Unlock()
+	// Replies may come back on this same socket (reverse routing on the
+	// peer); read them.
+	go t.readOutbound(hostport, c)
+	return c, nil
+}
+
+// readOutbound decodes messages arriving on a dialed connection and
+// delivers them to local handlers.
+func (t *TCP) readOutbound(hostport string, c *tcpConn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(c.c)
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			t.dropConn(hostport, c)
+			return
+		}
+		t.mu.Lock()
+		h := t.handlers[m.To]
+		t.mu.Unlock()
+		if h != nil {
+			h.Deliver(m.From, m.Payload)
+		}
+	}
+}
+
+func (t *TCP) dropConn(hostport string, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[hostport] == c {
+		delete(t.conns, hostport)
+	}
+	t.mu.Unlock()
+	c.c.Close()
+}
+
+// Close implements Network.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	t.closed = true
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	for _, c := range t.inbound {
+		c.Close()
+	}
+	t.conns = make(map[string]*tcpConn)
+	t.inbound = nil
+	t.mu.Unlock()
+	t.wg.Wait()
+}

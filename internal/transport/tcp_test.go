@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestTCPDeliveryBetweenProcessesSimulated(t *testing.T) {
+	// Two TCP networks model two processes sharing an address book.
+	book := map[Addr]string{}
+	a, err := NewTCP("127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCP("127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	replicaAddr := ReplicaAddr(0, 0)
+	clientAddr := ClientAddr(1)
+	book[replicaAddr] = a.ListenAddr()
+	book[clientAddr] = b.ListenAddr()
+
+	got := make(chan any, 1)
+	a.Register(replicaAddr, HandlerFunc(func(from Addr, msg any) {
+		// Echo back over TCP.
+		a.Send(replicaAddr, clientAddr, msg)
+	}))
+	b.Register(clientAddr, HandlerFunc(func(from Addr, msg any) {
+		got <- msg
+	}))
+
+	req := &types.ReadRequest{ReqID: 42, Key: "k", Ts: types.Timestamp{Time: 7, ClientID: 1}}
+	b.Send(clientAddr, replicaAddr, req)
+
+	select {
+	case m := <-got:
+		rr, ok := m.(*types.ReadRequest)
+		if !ok || rr.ReqID != 42 || rr.Key != "k" || rr.Ts.Time != 7 {
+			t.Fatalf("round trip mangled message: %#v", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no echo over TCP")
+	}
+}
+
+func TestTCPLocalShortCircuit(t *testing.T) {
+	n, err := NewTCP("", map[Addr]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	dst := ClientAddr(5)
+	got := make(chan any, 1)
+	n.Register(dst, HandlerFunc(func(from Addr, msg any) { got <- msg }))
+	n.Send(ClientAddr(6), dst, "direct")
+	select {
+	case m := <-got:
+		if m != "direct" {
+			t.Fatalf("got %v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("local short-circuit failed")
+	}
+}
+
+func TestTCPUnknownDestinationDropped(t *testing.T) {
+	n, err := NewTCP("", map[Addr]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Send(ClientAddr(1), ClientAddr(99), "void") // must not panic
+}

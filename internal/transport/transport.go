@@ -1,0 +1,122 @@
+// Package transport routes protocol messages between nodes.
+//
+// Two implementations are provided: an in-process Local network (channels,
+// with injectable per-link latency, drops and partitions) used by tests,
+// examples and the benchmark harness, and a TCP+gob network for real
+// multi-process deployments. Both deliver messages to a node's Handler in
+// FIFO order per sender with no cross-sender ordering guarantee, matching
+// an asynchronous network.
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Role distinguishes replica and client endpoints.
+type Role uint8
+
+// Endpoint roles.
+const (
+	RoleReplica Role = iota
+	RoleClient
+)
+
+// Addr names a node. Replicas are (RoleReplica, shard, index); clients are
+// (RoleClient, 0, clientID).
+type Addr struct {
+	Role  Role
+	Shard int32
+	Index int32
+}
+
+// ReplicaAddr builds a replica address.
+func ReplicaAddr(shard, index int32) Addr {
+	return Addr{Role: RoleReplica, Shard: shard, Index: index}
+}
+
+// ClientAddr builds a client address.
+func ClientAddr(id int32) Addr { return Addr{Role: RoleClient, Index: id} }
+
+func (a Addr) String() string {
+	if a.Role == RoleReplica {
+		return fmt.Sprintf("r%d.%d", a.Shard, a.Index)
+	}
+	return fmt.Sprintf("c%d", a.Index)
+}
+
+// Handler consumes delivered messages. Deliver is invoked on the node's
+// single dispatch goroutine; implementations must not block indefinitely.
+type Handler interface {
+	Deliver(from Addr, msg any)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from Addr, msg any)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(from Addr, msg any) { f(from, msg) }
+
+// Network connects nodes.
+type Network interface {
+	// Register attaches a handler for addr and starts its dispatcher.
+	Register(addr Addr, h Handler)
+	// Send enqueues msg for delivery from -> to. Sends to unknown
+	// addresses are dropped (an asynchronous network may always lose
+	// messages; protocols must tolerate it).
+	Send(from, to Addr, msg any)
+	// Close stops all dispatchers.
+	Close()
+}
+
+// mailbox is an unbounded FIFO queue feeding one dispatch goroutine.
+// Unbounded queues avoid send/receive deadlocks between nodes that message
+// each other symmetrically; protocol-level quorum waiting bounds growth.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+type envelope struct {
+	from Addr
+	msg  any
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(e envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// pop blocks until a message is available or the mailbox closes.
+func (m *mailbox) pop() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return envelope{}, false
+	}
+	e := m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

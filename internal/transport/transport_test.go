@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type collector struct {
+	mu   sync.Mutex
+	msgs []any
+	from []Addr
+	ch   chan struct{}
+}
+
+func newCollector() *collector { return &collector{ch: make(chan struct{}, 1024)} }
+
+func (c *collector) Deliver(from Addr, msg any) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, msg)
+	c.from = append(c.from, from)
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) wait(n int, t *testing.T) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d messages (got %d)", n, i)
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	net := NewLocal()
+	defer net.Close()
+	c := newCollector()
+	dst := ClientAddr(1)
+	src := ReplicaAddr(0, 2)
+	net.Register(dst, c)
+	net.Send(src, dst, "hello")
+	c.wait(1, t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.msgs[0] != "hello" || c.from[0] != src {
+		t.Fatalf("got %v from %v", c.msgs[0], c.from[0])
+	}
+}
+
+func TestLocalFIFOPerSender(t *testing.T) {
+	net := NewLocal()
+	defer net.Close()
+	c := newCollector()
+	dst := ClientAddr(1)
+	net.Register(dst, c)
+	const n = 500
+	src := ReplicaAddr(0, 0)
+	for i := 0; i < n; i++ {
+		net.Send(src, dst, i)
+	}
+	c.wait(n, t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if c.msgs[i] != i {
+			t.Fatalf("out of order at %d: %v", i, c.msgs[i])
+		}
+	}
+}
+
+func TestSendToUnknownIsDropped(t *testing.T) {
+	net := NewLocal()
+	defer net.Close()
+	net.Send(ClientAddr(1), ClientAddr(2), "lost") // must not panic
+}
+
+func TestPolicyDrop(t *testing.T) {
+	net := NewLocal()
+	defer net.Close()
+	c := newCollector()
+	dst := ClientAddr(1)
+	net.Register(dst, c)
+	var dropped atomic.Int32
+	net.SetPolicy(func(from, to Addr, msg any) (time.Duration, bool) {
+		if s, ok := msg.(string); ok && s == "drop-me" {
+			dropped.Add(1)
+			return 0, true
+		}
+		return 0, false
+	})
+	net.Send(ClientAddr(9), dst, "drop-me")
+	net.Send(ClientAddr(9), dst, "keep-me")
+	c.wait(1, t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.msgs) != 1 || c.msgs[0] != "keep-me" || dropped.Load() != 1 {
+		t.Fatalf("policy drop failed: %v", c.msgs)
+	}
+}
+
+func TestPolicyDelay(t *testing.T) {
+	net := NewLocal()
+	defer net.Close()
+	c := newCollector()
+	dst := ClientAddr(1)
+	net.Register(dst, c)
+	net.SetPolicy(func(from, to Addr, msg any) (time.Duration, bool) {
+		return 20 * time.Millisecond, false
+	})
+	start := time.Now()
+	net.Send(ClientAddr(9), dst, "slow")
+	c.wait(1, t)
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delay policy not applied")
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	net := NewLocal()
+	c := newCollector()
+	dst := ClientAddr(1)
+	net.Register(dst, c)
+	net.Close()
+	net.Send(ClientAddr(9), dst, "late") // must not panic or deliver
+	select {
+	case <-c.ch:
+		t.Fatal("message delivered after close")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if ReplicaAddr(2, 3).String() != "r2.3" || ClientAddr(7).String() != "c7" {
+		t.Fatal("addr rendering changed")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	net := NewLocal()
+	defer net.Close()
+	c := newCollector()
+	dst := ClientAddr(1)
+	net.Register(dst, c)
+	const senders, per = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				net.Send(ReplicaAddr(0, int32(s)), dst, s*1000+i)
+			}
+		}()
+	}
+	wg.Wait()
+	c.wait(senders*per, t)
+}

@@ -1,0 +1,344 @@
+package txbase
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ClientConfig parameterizes a baseline client.
+type ClientConfig struct {
+	ID        int32
+	F         int // per-shard consensus fault threshold (n = 3f+1)
+	NumShards int32
+	ShardOf   func(key string) int32
+	Net       transport.Network
+	Registry  *cryptoutil.Registry
+	SignerOf  quorum.SignerOf
+	// Submit hands a command to shard s's consensus group.
+	Submit func(s int32, from transport.Addr, cmd PreparedCommand)
+	// Timeout bounds each phase.
+	Timeout time.Duration
+}
+
+// PreparedCommand pairs an opaque payload with its client routing info.
+type PreparedCommand struct {
+	ClientID uint64
+	ReqID    uint64
+	Payload  []byte
+}
+
+// Stats counts client events.
+type Stats struct {
+	TxBegun     atomic.Uint64
+	TxCommitted atomic.Uint64
+	TxAborted   atomic.Uint64
+}
+
+// Client drives interactive transactions over the ordered-log baseline:
+// reads are unordered quorum reads; Prepare and Commit/Abort are both
+// totally ordered per shard (two consensus instances per shard per
+// transaction — the redundant coordination Basil's merged design removes).
+type Client struct {
+	cfg     ClientConfig
+	addr    transport.Addr
+	sv      *cryptoutil.SigVerifier
+	reqSeq  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan any
+
+	Stats Stats
+}
+
+// NewClient constructs and registers a baseline client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		addr:    transport.ClientAddr(cfg.ID),
+		sv:      cryptoutil.NewSigVerifier(cfg.Registry, 4096),
+		pending: make(map[uint64]chan any),
+	}
+	cfg.Net.Register(c.addr, c)
+	return c
+}
+
+// Deliver routes replies to pending requests.
+func (c *Client) Deliver(_ transport.Addr, msg any) {
+	var reqID uint64
+	switch m := msg.(type) {
+	case *ReadResp:
+		reqID = m.ReqID
+	case *TxResp:
+		reqID = m.ReqID
+	default:
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+func (c *Client) newRequest(buf int) (uint64, chan any) {
+	id := c.reqSeq.Add(1)
+	ch := make(chan any, buf)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+	return id, ch
+}
+
+func (c *Client) endRequest(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Txn is a baseline interactive transaction.
+type Txn struct {
+	c        *Client
+	reads    map[string]uint64 // key -> version read
+	readKeys []string
+	writes   map[string][]byte
+	writeKs  []string
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Txn {
+	c.Stats.TxBegun.Add(1)
+	return &Txn{c: c, reads: make(map[string]uint64), writes: make(map[string][]byte)}
+}
+
+// Read performs an unordered quorum read (f+1 matching of 2f+1 asked).
+func (t *Txn) Read(key string) ([]byte, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, nil
+	}
+	c := t.c
+	n := 3*c.cfg.F + 1
+	shard := c.cfg.ShardOf(key)
+	reqID, ch := c.newRequest(n)
+	defer c.endRequest(reqID)
+	req := &ReadReq{ReqID: reqID, Key: key}
+	ask := 2*c.cfg.F + 1
+	off := int(reqID) % n
+	for i := 0; i < ask; i++ {
+		c.cfg.Net.Send(c.addr, transport.ReplicaAddr(shard, int32((off+i)%n)), req)
+	}
+	type rv struct {
+		ver uint64
+		val string
+	}
+	counts := make(map[rv]int)
+	deadline := time.NewTimer(c.cfg.Timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m := <-ch:
+			r, ok := m.(*ReadResp)
+			if !ok || r.Key != key {
+				continue
+			}
+			sig := r.Sig
+			if sig.SignerID != c.cfg.SignerOf(shard, r.Replica) || !c.sv.Verify(r.payload(), &sig) {
+				continue
+			}
+			k := rv{r.Version, string(r.Value)}
+			counts[k]++
+			if counts[k] >= c.cfg.F+1 {
+				if _, seen := t.reads[key]; !seen {
+					t.reads[key] = r.Version
+					t.readKeys = append(t.readKeys, key)
+				}
+				return r.Value, nil
+			}
+		case <-deadline.C:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Write buffers a write.
+func (t *Txn) Write(key string, value []byte) {
+	if _, ok := t.writes[key]; !ok {
+		t.writeKs = append(t.writeKs, key)
+	}
+	t.writes[key] = value
+}
+
+// Abort abandons the transaction (nothing was made visible).
+func (t *Txn) Abort() { t.c.Stats.TxAborted.Add(1) }
+
+// Commit runs 2PC with both phases ordered per shard.
+func (t *Txn) Commit() error {
+	c := t.c
+	shards := t.participantShards()
+	if len(shards) == 0 {
+		c.Stats.TxCommitted.Add(1)
+		return nil
+	}
+	id := t.txID(shards)
+
+	// Phase 1: ordered Prepare on each shard; gather f+1 matching votes.
+	commit := true
+	reqID, ch := c.newRequest((3*c.cfg.F + 1) * len(shards))
+	for _, s := range shards {
+		cmd := t.prepareCmdFor(s, id)
+		c.cfg.Submit(s, c.addr, PreparedCommand{ClientID: uint64(c.cfg.ID), ReqID: reqID, Payload: cmd})
+	}
+	votes, err := c.collectPhase(ch, id, opPrepare, shards)
+	c.endRequest(reqID)
+	if err != nil {
+		c.Stats.TxAborted.Add(1)
+		return err
+	}
+	for _, s := range shards {
+		if !votes[s] {
+			commit = false
+		}
+	}
+
+	// Phase 2: ordered Commit/Abort on each shard; wait for f+1 acks.
+	reqID2, ch2 := c.newRequest((3*c.cfg.F + 1) * len(shards))
+	payload := encodeDecide(id, commit)
+	for _, s := range shards {
+		c.cfg.Submit(s, c.addr, PreparedCommand{ClientID: uint64(c.cfg.ID), ReqID: reqID2, Payload: payload})
+	}
+	_, err = c.collectPhase(ch2, id, opDecide, shards)
+	c.endRequest(reqID2)
+	if err != nil {
+		c.Stats.TxAborted.Add(1)
+		return err
+	}
+	if commit {
+		c.Stats.TxCommitted.Add(1)
+		return nil
+	}
+	c.Stats.TxAborted.Add(1)
+	return ErrAborted
+}
+
+// collectPhase waits for f+1 matching replies per shard.
+func (c *Client) collectPhase(ch chan any, id types.TxID, phase byte, shards []int32) (map[int32]bool, error) {
+	// Replica indexes are shard-local; shard identity is implicit in the
+	// signer id, so track votes per (shard) via signer mapping.
+	type skey struct {
+		shard   int32
+		replica int32
+	}
+	need := c.cfg.F + 1
+	seen := make(map[skey]bool)
+	tally := make(map[int32]map[bool]int)
+	result := make(map[int32]bool)
+	deadline := time.NewTimer(c.cfg.Timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m := <-ch:
+			r, ok := m.(*TxResp)
+			if !ok || r.TxID != id || r.Phase != phase {
+				continue
+			}
+			// Identify the shard by trying each participant's signer map.
+			matched := int32(-1)
+			sig := r.Sig
+			for _, s := range shards {
+				if sig.SignerID == c.cfg.SignerOf(s, r.Replica) {
+					matched = s
+					break
+				}
+			}
+			if matched < 0 || !c.sv.Verify(r.payload(), &sig) {
+				continue
+			}
+			k := skey{matched, r.Replica}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if tally[matched] == nil {
+				tally[matched] = make(map[bool]int)
+			}
+			tally[matched][r.Commit]++
+			if tally[matched][r.Commit] >= need {
+				if _, done := result[matched]; !done {
+					result[matched] = r.Commit
+				}
+			}
+			if len(result) == len(shards) {
+				return result, nil
+			}
+		case <-deadline.C:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+func (t *Txn) participantShards() []int32 {
+	set := make(map[int32]bool)
+	for _, k := range t.readKeys {
+		set[t.c.cfg.ShardOf(k)] = true
+	}
+	for _, k := range t.writeKs {
+		set[t.c.cfg.ShardOf(k)] = true
+	}
+	out := make([]int32, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// txID derives a unique id from the client, a nonce and the access sets.
+func (t *Txn) txID(shards []int32) types.TxID {
+	b := make([]byte, 0, 128)
+	b = binary.BigEndian.AppendUint32(b, uint32(t.c.cfg.ID))
+	b = binary.BigEndian.AppendUint64(b, t.c.reqSeq.Add(1))
+	for _, k := range t.readKeys {
+		b = appendStr(b, k)
+		b = binary.BigEndian.AppendUint64(b, t.reads[k])
+	}
+	for _, k := range t.writeKs {
+		b = appendStr(b, k)
+		b = appendStr(b, string(t.writes[k]))
+	}
+	for _, s := range shards {
+		b = binary.BigEndian.AppendUint32(b, uint32(s))
+	}
+	return sha256.Sum256(b)
+}
+
+// prepareCmdFor builds the shard-local prepare payload.
+func (t *Txn) prepareCmdFor(s int32, id types.TxID) []byte {
+	p := &PrepareCmd{TxID: id}
+	for _, k := range t.readKeys {
+		if t.c.cfg.ShardOf(k) == s {
+			p.ReadKeys = append(p.ReadKeys, k)
+			p.ReadVers = append(p.ReadVers, t.reads[k])
+		}
+	}
+	for _, k := range t.writeKs {
+		if t.c.cfg.ShardOf(k) == s {
+			p.WriteK = append(p.WriteK, k)
+			p.WriteV = append(p.WriteV, t.writes[k])
+		}
+	}
+	return encodePrepare(p)
+}

@@ -1,0 +1,195 @@
+package txbase
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/smr"
+	"repro/internal/smr/hotstuff"
+	"repro/internal/smr/pbft"
+	"repro/internal/transport"
+)
+
+// Kind selects the ordered-log substrate.
+type Kind int
+
+// Substrate kinds.
+const (
+	// KindPBFT is the TxBFT-SMaRt stand-in.
+	KindPBFT Kind = iota
+	// KindHotStuff is the TxHotstuff stand-in.
+	KindHotStuff
+)
+
+func (k Kind) String() string {
+	if k == KindHotStuff {
+		return "TxHotstuff"
+	}
+	return "TxBFT-SMaRt"
+}
+
+// ClusterConfig parameterizes a baseline deployment.
+type ClusterConfig struct {
+	F          int // n = 3f+1 per shard
+	Shards     int
+	BatchMax   int // consensus batch size (paper: 4 for HotStuff, 16 for BFT-SMaRt)
+	BatchDelay time.Duration
+	SigBatch   int // reply-signature batch size
+	Seed       int64
+	ShardOf    func(key string) int32
+	Timeout    time.Duration
+}
+
+// Cluster is a running baseline deployment: per shard, one consensus group
+// plus 3f+1 deterministic execution nodes.
+type Cluster struct {
+	cfg      ClusterConfig
+	kind     Kind
+	net      *transport.Local
+	registry *cryptoutil.Registry
+	signerOf func(shard, replica int32) int32
+	exec     [][]*ExecNode
+	submit   func(s int32, from transport.Addr, cmd PreparedCommand)
+	closers  []func()
+	nextCli  int32
+}
+
+// NewCluster builds and starts a baseline cluster of the given kind.
+func NewCluster(kind Kind, cfg ClusterConfig) *Cluster {
+	if cfg.F <= 0 {
+		cfg.F = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.BatchMax <= 0 {
+		if kind == KindHotStuff {
+			cfg.BatchMax = 4 // the paper's best TxHotstuff batch
+		} else {
+			cfg.BatchMax = 16 // the paper's best TxBFT-SMaRt batch
+		}
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = time.Millisecond
+	}
+	if cfg.SigBatch <= 0 {
+		cfg.SigBatch = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.ShardOf == nil {
+		shards := int32(cfg.Shards)
+		cfg.ShardOf = func(key string) int32 {
+			h := fnv.New32a()
+			h.Write([]byte(key))
+			return int32(h.Sum32() % uint32(shards))
+		}
+	}
+	n := 3*cfg.F + 1
+	net := transport.NewLocal()
+	reg := cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, cfg.Shards*n, cfg.Seed)
+	signerOf := func(shard, replica int32) int32 {
+		s := shard
+		if s >= ConsensusShardBase {
+			s -= ConsensusShardBase
+		}
+		return s*int32(n) + replica
+	}
+	c := &Cluster{
+		cfg: cfg, kind: kind, net: net, registry: reg, signerOf: signerOf,
+		exec: make([][]*ExecNode, cfg.Shards),
+	}
+	type groupHandle interface {
+		Submit(from transport.Addr, cmd smr.Command)
+		Close()
+	}
+	groups := make([]groupHandle, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		c.exec[s] = make([]*ExecNode, n)
+		execs := c.exec[s]
+		for i := 0; i < n; i++ {
+			execs[i] = NewExecNode(int32(s), int32(i), net,
+				reg.Signer(signerOf(int32(s), int32(i))), cfg.SigBatch, 500*time.Microsecond)
+		}
+		// The consensus executor fans a committed block out to every
+		// execution node of the shard (each consensus replica i drives
+		// exec node i; in-process we route by replica index).
+		executor := execFan{nodes: execs}
+		switch kind {
+		case KindHotStuff:
+			g := hotstuff.NewGroup(hotstuff.Config{
+				Shard: ConsensusShardBase + int32(s), F: cfg.F,
+				BatchMax: cfg.BatchMax, BatchDelay: cfg.BatchDelay,
+				Registry: reg, SignerOf: signerOf, Net: net, Executor: executor,
+			})
+			groups[s] = g
+		default:
+			g := pbft.NewGroup(pbft.Config{
+				Shard: ConsensusShardBase + int32(s), F: cfg.F,
+				BatchMax: cfg.BatchMax, BatchDelay: cfg.BatchDelay,
+				Registry: reg, SignerOf: signerOf, Net: net, Executor: executor,
+			})
+			groups[s] = g
+		}
+		c.closers = append(c.closers, groups[s].Close)
+	}
+	c.submit = func(s int32, from transport.Addr, cmd PreparedCommand) {
+		groups[s].Submit(from, smr.Command{ClientID: cmd.ClientID, ReqID: cmd.ReqID, Payload: cmd.Payload})
+	}
+	return c
+}
+
+// execFan delivers a committed block to the execution node matching the
+// consensus replica that committed it.
+type execFan struct {
+	nodes []*ExecNode
+}
+
+// Execute implements smr.Executor.
+func (f execFan) Execute(replicaIndex int32, blk *smr.Block) {
+	if int(replicaIndex) < len(f.nodes) {
+		f.nodes[replicaIndex].Execute(replicaIndex, blk)
+	}
+}
+
+// Load installs a key's initial value on its shard.
+func (c *Cluster) Load(key string, val []byte) {
+	s := c.cfg.ShardOf(key)
+	for _, n := range c.exec[s] {
+		n.Load(key, val)
+	}
+}
+
+// NewClient attaches a baseline client.
+func (c *Cluster) NewClient() *Client {
+	c.nextCli++
+	return NewClient(ClientConfig{
+		ID: c.nextCli, F: c.cfg.F, NumShards: int32(c.cfg.Shards),
+		ShardOf: c.cfg.ShardOf, Net: c.net, Registry: c.registry,
+		SignerOf: c.signerOf, Submit: c.submit, Timeout: c.cfg.Timeout,
+	})
+}
+
+// Kind reports the substrate kind.
+func (c *Cluster) Kind() Kind { return c.kind }
+
+// Net exposes the transport for policy injection (latency experiments).
+func (c *Cluster) Net() *transport.Local { return c.net }
+
+// Close stops the cluster.
+func (c *Cluster) Close() {
+	for _, cl := range c.closers {
+		cl()
+	}
+	for _, shard := range c.exec {
+		for _, n := range shard {
+			n.Close()
+		}
+	}
+	c.net.Close()
+}

@@ -1,0 +1,382 @@
+// Package txbase is the transaction layer the paper layers over black-box
+// ordered logs to build its TxHotstuff and TxBFT-SMaRt baselines (§6): a
+// per-shard key-value store with an OCC serializability check, driven by a
+// client-side two-phase commit in which both the Prepare and the
+// Commit/Abort of every transaction are totally ordered by the shard's
+// consensus group.
+//
+// Each shard runs one consensus group (PBFT or HotStuff) at shard id
+// ConsensusShardBase+s, and 3f+1 execution nodes at shard id s. Execution
+// is deterministic, so correct replicas return matching votes; clients
+// wait for f+1 matching replies, and replies are Merkle-batch signed just
+// like Basil's (the paper grants the baselines the same batching scheme).
+package txbase
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ConsensusShardBase offsets consensus-group addresses from execution-node
+// addresses on the shared transport.
+const ConsensusShardBase = 1 << 20
+
+// Op codes for ordered commands.
+const (
+	opPrepare byte = 1
+	opDecide  byte = 2
+)
+
+// TxRecordID identifies a transaction in the baseline layer.
+type TxRecordID = types.TxID
+
+// PrepareCmd is the ordered prepare request.
+type PrepareCmd struct {
+	TxID     types.TxID
+	ReadKeys []string
+	ReadVers []uint64
+	WriteK   []string
+	WriteV   [][]byte
+}
+
+// encodeCmd serializes a command payload.
+func encodePrepare(p *PrepareCmd) []byte {
+	b := []byte{opPrepare}
+	b = append(b, p.TxID[:]...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.ReadKeys)))
+	for i, k := range p.ReadKeys {
+		b = appendStr(b, k)
+		b = binary.BigEndian.AppendUint64(b, p.ReadVers[i])
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.WriteK)))
+	for i, k := range p.WriteK {
+		b = appendStr(b, k)
+		b = appendStr(b, string(p.WriteV[i]))
+	}
+	return b
+}
+
+func encodeDecide(id types.TxID, commit bool) []byte {
+	b := []byte{opDecide}
+	b = append(b, id[:]...)
+	if commit {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type reader struct {
+	b []byte
+	e bool
+}
+
+func (r *reader) str() string {
+	if r.e || len(r.b) < 4 {
+		r.e = true
+		return ""
+	}
+	n := int(binary.BigEndian.Uint32(r.b))
+	r.b = r.b[4:]
+	if len(r.b) < n {
+		r.e = true
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *reader) u64() uint64 {
+	if r.e || len(r.b) < 8 {
+		r.e = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.e || len(r.b) < 4 {
+		r.e = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func decodePrepare(b []byte) (*PrepareCmd, bool) {
+	if len(b) < 1+32 {
+		return nil, false
+	}
+	p := &PrepareCmd{}
+	copy(p.TxID[:], b[1:33])
+	r := &reader{b: b[33:]}
+	nr := int(r.u32())
+	for i := 0; i < nr && !r.e; i++ {
+		p.ReadKeys = append(p.ReadKeys, r.str())
+		p.ReadVers = append(p.ReadVers, r.u64())
+	}
+	nw := int(r.u32())
+	for i := 0; i < nw && !r.e; i++ {
+		p.WriteK = append(p.WriteK, r.str())
+		p.WriteV = append(p.WriteV, []byte(r.str()))
+	}
+	return p, !r.e
+}
+
+// --- wire messages between clients and execution nodes ---
+
+// ReadReq asks an execution node for a key's committed value.
+type ReadReq struct {
+	ReqID uint64
+	Key   string
+}
+
+// ReadResp answers with the value and its version.
+type ReadResp struct {
+	ReqID   uint64
+	Key     string
+	Value   []byte
+	Version uint64
+	Replica int32
+	Sig     types.Signature
+}
+
+func (r *ReadResp) payload() []byte {
+	b := []byte("txb/read/")
+	b = binary.BigEndian.AppendUint64(b, r.ReqID)
+	b = appendStr(b, r.Key)
+	b = appendStr(b, string(r.Value))
+	b = binary.BigEndian.AppendUint64(b, r.Version)
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Replica))
+	return b
+}
+
+// TxResp reports an execution node's result for an ordered command.
+type TxResp struct {
+	ReqID   uint64
+	TxID    types.TxID
+	Phase   byte // opPrepare or opDecide
+	Commit  bool // prepare vote, or decision echo
+	Replica int32
+	Sig     types.Signature
+}
+
+func (r *TxResp) payload() []byte {
+	b := []byte("txb/resp/")
+	b = binary.BigEndian.AppendUint64(b, r.ReqID)
+	b = append(b, r.TxID[:]...)
+	b = append(b, r.Phase)
+	if r.Commit {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Replica))
+	return b
+}
+
+// --- execution node ---
+
+type entry struct {
+	val []byte
+	ver uint64
+}
+
+type preparedTx struct {
+	cmd  *PrepareCmd
+	vote bool
+}
+
+// ExecNode is one replica's execution state for one shard.
+type ExecNode struct {
+	shard   int32
+	index   int32
+	addr    transport.Addr
+	net     transport.Network
+	batcher *cryptoutil.BatchSigner
+
+	mu       sync.Mutex
+	kv       map[string]entry
+	locks    map[string]types.TxID
+	prepared map[types.TxID]*preparedTx
+	decided  map[types.TxID]bool
+	seq      uint64
+	// reqOrigin remembers which client submitted a command so replies can
+	// be routed (commands carry ClientID).
+}
+
+// NewExecNode builds the execution node for (shard, index).
+func NewExecNode(shard, index int32, net transport.Network, signer cryptoutil.Signer, batch int, delay time.Duration) *ExecNode {
+	n := &ExecNode{
+		shard: shard, index: index,
+		addr:     transport.ReplicaAddr(shard, index),
+		net:      net,
+		batcher:  cryptoutil.NewBatchSigner(signer, batch, delay),
+		kv:       make(map[string]entry),
+		locks:    make(map[string]types.TxID),
+		prepared: make(map[types.TxID]*preparedTx),
+		decided:  make(map[types.TxID]bool),
+	}
+	net.Register(n.addr, n)
+	return n
+}
+
+// Load installs an initial value.
+func (n *ExecNode) Load(key string, val []byte) {
+	n.mu.Lock()
+	n.kv[key] = entry{val: val}
+	n.mu.Unlock()
+}
+
+// Close flushes the reply batcher.
+func (n *ExecNode) Close() { n.batcher.Close() }
+
+// Deliver serves unordered reads.
+func (n *ExecNode) Deliver(from transport.Addr, msg any) {
+	rr, ok := msg.(*ReadReq)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	e := n.kv[rr.Key]
+	n.mu.Unlock()
+	resp := &ReadResp{ReqID: rr.ReqID, Key: rr.Key, Value: e.val, Version: e.ver, Replica: n.index}
+	n.batcher.Enqueue(resp.payload(), func(sig types.Signature) {
+		resp.Sig = sig
+		n.net.Send(n.addr, from, resp)
+	})
+}
+
+// Execute applies one committed block (smr.Executor contract); commands
+// are deterministic so all correct replicas produce identical votes.
+func (n *ExecNode) Execute(_ int32, blk *smr.Block) {
+	for i := range blk.Cmds {
+		cmd := blk.Cmds[i]
+		n.seq++
+		if len(cmd.Payload) == 0 {
+			continue
+		}
+		switch cmd.Payload[0] {
+		case opPrepare:
+			p, ok := decodePrepare(cmd.Payload)
+			if !ok {
+				continue
+			}
+			vote := n.applyPrepare(p)
+			n.reply(cmd, opPrepare, p.TxID, vote)
+		case opDecide:
+			if len(cmd.Payload) < 34 {
+				continue
+			}
+			var id types.TxID
+			copy(id[:], cmd.Payload[1:33])
+			commit := cmd.Payload[33] == 1
+			n.applyDecide(id, commit)
+			n.reply(cmd, opDecide, id, commit)
+		}
+	}
+}
+
+// applyPrepare runs the standard OCC backward-validation check (Kung &
+// Robinson [60], as in the paper's baseline execution layer): every read
+// must still see the current committed version and no touched key may be
+// locked by another in-flight transaction; on success the write set is
+// locked until the decision arrives.
+func (n *ExecNode) applyPrepare(p *PrepareCmd) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if pt, dup := n.prepared[p.TxID]; dup {
+		return pt.vote
+	}
+	vote := true
+	for i, k := range p.ReadKeys {
+		if n.kv[k].ver != p.ReadVers[i] {
+			vote = false
+			break
+		}
+		if owner, locked := n.locks[k]; locked && owner != p.TxID {
+			vote = false
+			break
+		}
+	}
+	if vote {
+		for _, k := range p.WriteK {
+			if owner, locked := n.locks[k]; locked && owner != p.TxID {
+				vote = false
+				break
+			}
+		}
+	}
+	if vote {
+		for _, k := range p.WriteK {
+			n.locks[k] = p.TxID
+		}
+	}
+	n.prepared[p.TxID] = &preparedTx{cmd: p, vote: vote}
+	return vote
+}
+
+// applyDecide commits or aborts a prepared transaction.
+func (n *ExecNode) applyDecide(id types.TxID, commit bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.decided[id] {
+		return
+	}
+	n.decided[id] = true
+	pt := n.prepared[id]
+	if pt == nil {
+		return
+	}
+	delete(n.prepared, id)
+	if commit && pt.vote {
+		for i, k := range pt.cmd.WriteK {
+			n.kv[k] = entry{val: pt.cmd.WriteV[i], ver: n.seq}
+		}
+	}
+	for _, k := range pt.cmd.WriteK {
+		if n.locks[k] == id {
+			delete(n.locks, k)
+		}
+	}
+}
+
+func (n *ExecNode) reply(cmd smr.Command, phase byte, id types.TxID, commit bool) {
+	resp := &TxResp{ReqID: cmd.ReqID, TxID: id, Phase: phase, Commit: commit, Replica: n.index}
+	to := transport.ClientAddr(int32(cmd.ClientID))
+	n.batcher.Enqueue(resp.payload(), func(sig types.Signature) {
+		resp.Sig = sig
+		n.net.Send(n.addr, to, resp)
+	})
+}
+
+// Submitter abstracts the consensus group's submission entry point
+// (satisfied by pbft.Group and hotstuff.Group).
+type Submitter interface {
+	Submit(from transport.Addr, cmd smr.Command)
+}
+
+// errors
+var (
+	// ErrAborted mirrors basil's abort result.
+	ErrAborted = errors.New("txbase: transaction aborted")
+	// ErrTimeout reports reply starvation.
+	ErrTimeout = errors.New("txbase: timeout")
+)

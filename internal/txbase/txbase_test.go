@@ -1,0 +1,161 @@
+package txbase
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func enc64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func dec64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func testBasic(t *testing.T, kind Kind) {
+	t.Helper()
+	cl := NewCluster(kind, ClusterConfig{F: 1, Shards: 1, BatchMax: 1})
+	defer cl.Close()
+	cl.Load("x", enc64(10))
+
+	c := cl.NewClient()
+	tx := c.Begin()
+	v, err := tx.Read("x")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if dec64(v) != 10 {
+		t.Fatalf("x=%d want 10", dec64(v))
+	}
+	tx.Write("x", enc64(11))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	tx2 := c.Begin()
+	v, err = tx2.Read("x")
+	if err != nil {
+		t.Fatalf("read2: %v", err)
+	}
+	if dec64(v) != 11 {
+		t.Fatalf("x=%d after commit, want 11", dec64(v))
+	}
+	tx2.Abort()
+}
+
+func TestPBFTBasic(t *testing.T)     { testBasic(t, KindPBFT) }
+func TestHotStuffBasic(t *testing.T) { testBasic(t, KindHotStuff) }
+
+func testCounter(t *testing.T, kind Kind) {
+	t.Helper()
+	cl := NewCluster(kind, ClusterConfig{F: 1, Shards: 1, BatchMax: 2})
+	defer cl.Close()
+	cl.Load("ctr", enc64(0))
+
+	const workers = 3
+	const per = 5
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits := 0
+	for w := 0; w < workers; w++ {
+		c := cl.NewClient()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					tx := c.Begin()
+					v, err := tx.Read("ctr")
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					tx.Write("ctr", enc64(dec64(v)+1))
+					if err := tx.Commit(); err == nil {
+						mu.Lock()
+						commits++
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c := cl.NewClient()
+	tx := c.Begin()
+	v, err := tx.Read("ctr")
+	if err != nil {
+		t.Fatalf("final read: %v", err)
+	}
+	tx.Abort()
+	if dec64(v) != uint64(commits) || commits != workers*per {
+		t.Fatalf("ctr=%d commits=%d want %d", dec64(v), commits, workers*per)
+	}
+}
+
+func TestPBFTCounter(t *testing.T)     { testCounter(t, KindPBFT) }
+func TestHotStuffCounter(t *testing.T) { testCounter(t, KindHotStuff) }
+
+func testCrossShard(t *testing.T, kind Kind) {
+	t.Helper()
+	cl := NewCluster(kind, ClusterConfig{
+		F: 1, Shards: 2, BatchMax: 1,
+		ShardOf: func(k string) int32 { return int32(k[0]-'a') % 2 },
+	})
+	defer cl.Close()
+	cl.Load("a", enc64(100))
+	cl.Load("b", enc64(0))
+
+	c := cl.NewClient()
+	tx := c.Begin()
+	av, err := tx.Read("a")
+	if err != nil {
+		t.Fatalf("read a: %v", err)
+	}
+	bv, err := tx.Read("b")
+	if err != nil {
+		t.Fatalf("read b: %v", err)
+	}
+	tx.Write("a", enc64(dec64(av)-40))
+	tx.Write("b", enc64(dec64(bv)+40))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	tx2 := c.Begin()
+	av, _ = tx2.Read("a")
+	bv, _ = tx2.Read("b")
+	tx2.Abort()
+	if dec64(av) != 60 || dec64(bv) != 40 {
+		t.Fatalf("a=%d b=%d want 60 40", dec64(av), dec64(bv))
+	}
+}
+
+func TestPBFTCrossShard(t *testing.T)     { testCrossShard(t, KindPBFT) }
+func TestHotStuffCrossShard(t *testing.T) { testCrossShard(t, KindHotStuff) }
+
+func TestPrepareEncodingRoundTrip(t *testing.T) {
+	p := &PrepareCmd{
+		ReadKeys: []string{"k1", "k2"},
+		ReadVers: []uint64{3, 9},
+		WriteK:   []string{"w"},
+		WriteV:   [][]byte{[]byte("val")},
+	}
+	p.TxID[0] = 0xAB
+	got, ok := decodePrepare(encodePrepare(p))
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got.TxID != p.TxID || len(got.ReadKeys) != 2 || got.ReadVers[1] != 9 ||
+		got.WriteK[0] != "w" || string(got.WriteV[0]) != "val" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}

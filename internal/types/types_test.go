@@ -1,0 +1,222 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampOrder(t *testing.T) {
+	a := Timestamp{Time: 1, ClientID: 5}
+	b := Timestamp{Time: 2, ClientID: 1}
+	c := Timestamp{Time: 2, ClientID: 2}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("timestamp ordering broken")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare inconsistent")
+	}
+	if !a.LessEq(a) || !a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("LessEq inconsistent")
+	}
+}
+
+func TestTimestampTotalOrderProperty(t *testing.T) {
+	// Less must be a strict total order: trichotomy and transitivity.
+	f := func(t1, t2, t3 Timestamp) bool {
+		tri := 0
+		if t1.Less(t2) {
+			tri++
+		}
+		if t2.Less(t1) {
+			tri++
+		}
+		if t1 == t2 {
+			tri++
+		}
+		if tri != 1 {
+			return false
+		}
+		if t1.Less(t2) && t2.Less(t3) && !t1.Less(t3) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTimestamp(t *testing.T) {
+	if !(Timestamp{}).IsZero() {
+		t.Fatal("zero ts not zero")
+	}
+	if (Timestamp{Time: 1}).IsZero() {
+		t.Fatal("nonzero ts is zero")
+	}
+}
+
+func randMeta(rng *rand.Rand) *TxMeta {
+	m := &TxMeta{Timestamp: Timestamp{Time: rng.Uint64() % 1000, ClientID: rng.Uint64() % 10}}
+	for i := 0; i < rng.Intn(4); i++ {
+		m.ReadSet = append(m.ReadSet, ReadEntry{
+			Key:     string(rune('a' + rng.Intn(26))),
+			Version: Timestamp{Time: rng.Uint64() % 100},
+		})
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		val := make([]byte, rng.Intn(16))
+		rng.Read(val)
+		m.WriteSet = append(m.WriteSet, WriteEntry{Key: string(rune('a' + rng.Intn(26))), Value: val})
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		var id TxID
+		rng.Read(id[:])
+		m.Deps = append(m.Deps, Dependency{TxID: id, Version: Timestamp{Time: rng.Uint64() % 50}})
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		m.Shards = append(m.Shards, int32(rng.Intn(5)))
+	}
+	return m
+}
+
+func TestTxMetaEncodingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		m := randMeta(rng)
+		enc := m.AppendCanonical(nil)
+		dec, rest, err := DecodeTxMeta(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trailing bytes: %d", len(rest))
+		}
+		if !bytes.Equal(dec.AppendCanonical(nil), enc) {
+			t.Fatalf("round trip not canonical")
+		}
+		if dec.ID() != m.ID() {
+			t.Fatalf("id changed through round trip")
+		}
+	}
+}
+
+func TestTxMetaEncodingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randMeta(rng)
+	a := m.AppendCanonical(nil)
+	b := m.AppendCanonical(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("canonical encoding nondeterministic")
+	}
+}
+
+func TestTxIDBindsContent(t *testing.T) {
+	m := &TxMeta{Timestamp: Timestamp{Time: 1, ClientID: 2},
+		WriteSet: []WriteEntry{{Key: "k", Value: []byte("v")}}, Shards: []int32{0}}
+	id1 := m.ID()
+	m.WriteSet[0].Value = []byte("w")
+	if m.ID() == id1 {
+		t.Fatal("tx id did not change with contents (equivocation possible)")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := &TxMeta{Timestamp: Timestamp{Time: 1}, WriteSet: []WriteEntry{{Key: "k", Value: []byte("v")}}}
+	enc := m.AppendCanonical(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeTxMeta(enc[:cut]); err == nil && cut < len(enc) {
+			// Some prefixes may decode as a shorter valid meta; they must
+			// at least not panic. Only the empty-read/write/dep prefix is
+			// legitimately decodable.
+			continue
+		}
+	}
+}
+
+func TestShardIndexStable(t *testing.T) {
+	var id TxID
+	for i := range id {
+		id[i] = byte(i)
+	}
+	for n := 1; n <= 7; n++ {
+		a := id.ShardIndex(n)
+		b := id.ShardIndex(n)
+		if a != b || a < 0 || a >= n {
+			t.Fatalf("ShardIndex(%d) unstable or out of range: %d", n, a)
+		}
+	}
+	if id.ShardIndex(0) != 0 {
+		t.Fatal("ShardIndex(0) must be 0")
+	}
+}
+
+func TestLogShardIsParticipant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		m := randMeta(rng)
+		ls := m.LogShard()
+		if len(m.Shards) > 0 && !m.HasShard(ls) {
+			t.Fatalf("log shard %d not a participant %v", ls, m.Shards)
+		}
+	}
+}
+
+func TestReadsWritesLookup(t *testing.T) {
+	m := &TxMeta{
+		ReadSet:  []ReadEntry{{Key: "a", Version: Timestamp{Time: 3}}},
+		WriteSet: []WriteEntry{{Key: "b"}},
+	}
+	if v, ok := m.ReadsKey("a"); !ok || v.Time != 3 {
+		t.Fatal("ReadsKey broken")
+	}
+	if _, ok := m.ReadsKey("zz"); ok {
+		t.Fatal("ReadsKey false positive")
+	}
+	if !m.WritesKey("b") || m.WritesKey("a") {
+		t.Fatal("WritesKey broken")
+	}
+}
+
+func TestVoteDecisionStrings(t *testing.T) {
+	if VoteCommit.String() != "commit" || VoteAbort.String() != "abort" || VoteNone.String() != "none" {
+		t.Fatal("vote strings")
+	}
+	if DecisionCommit.String() != "commit" || DecisionAbort.String() != "abort" || DecisionNone.String() != "none" {
+		t.Fatal("decision strings")
+	}
+}
+
+func TestPayloadsDomainSeparated(t *testing.T) {
+	var id TxID
+	id[0] = 1
+	st1 := &ST1Reply{TxID: id, ShardID: 1, ReplicaID: 2, Vote: VoteCommit}
+	st2 := &ST2Reply{TxID: id, ShardID: 1, ReplicaID: 2, Decision: DecisionCommit}
+	e := &ElectFB{TxID: id, ShardID: 1, ReplicaID: 2, Decision: DecisionCommit, View: 0}
+	d := &DecFB{TxID: id, ShardID: 1, LeaderID: 2, Decision: DecisionCommit, View: 0}
+	payloads := [][]byte{st1.Payload(), st2.Payload(), e.Payload(), d.Payload()}
+	for i := range payloads {
+		for j := i + 1; j < len(payloads); j++ {
+			if bytes.Equal(payloads[i], payloads[j]) {
+				t.Fatalf("payloads %d and %d collide (domain separation broken)", i, j)
+			}
+		}
+	}
+}
+
+func TestST1PayloadCoversVote(t *testing.T) {
+	a := &ST1Reply{Vote: VoteCommit}
+	b := &ST1Reply{Vote: VoteAbort}
+	if bytes.Equal(a.Payload(), b.Payload()) {
+		t.Fatal("vote not covered by signature payload")
+	}
+}
+
+func TestST2PayloadCoversViews(t *testing.T) {
+	a := &ST2Reply{Decision: DecisionCommit, ViewDecision: 0}
+	b := &ST2Reply{Decision: DecisionCommit, ViewDecision: 1}
+	if bytes.Equal(a.Payload(), b.Payload()) {
+		t.Fatal("decision view not covered by signature payload")
+	}
+}

@@ -1,0 +1,180 @@
+// Package verify checks Byz-serializability of executions (paper §2.2,
+// Appendix B): it rebuilds Adya's direct serialization graph (DSG) from
+// the transactions correct clients committed and asserts it is acyclic.
+// Tests and the adversarial harness use it as the ground-truth oracle.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// CommittedTx is one committed transaction as observed by a correct
+// client: its timestamp, what it read (key -> version read) and what it
+// wrote.
+type CommittedTx struct {
+	ID     types.TxID
+	Ts     types.Timestamp
+	Reads  map[string]types.Timestamp
+	Writes map[string]bool
+}
+
+// FromMeta converts transaction metadata into the checker's form.
+func FromMeta(meta *types.TxMeta) CommittedTx {
+	tx := CommittedTx{
+		ID:     meta.ID(),
+		Ts:     meta.Timestamp,
+		Reads:  make(map[string]types.Timestamp, len(meta.ReadSet)),
+		Writes: make(map[string]bool, len(meta.WriteSet)),
+	}
+	for _, r := range meta.ReadSet {
+		tx.Reads[r.Key] = r.Version
+	}
+	for _, w := range meta.WriteSet {
+		tx.Writes[w.Key] = true
+	}
+	return tx
+}
+
+// edge kinds in the DSG.
+const (
+	edgeWW = "ww"
+	edgeWR = "wr"
+	edgeRW = "rw"
+)
+
+// Checker accumulates committed transactions and validates the DSG.
+type Checker struct {
+	txs []CommittedTx
+}
+
+// Add records one committed transaction.
+func (c *Checker) Add(tx CommittedTx) { c.txs = append(c.txs, tx) }
+
+// Len returns the number of recorded transactions.
+func (c *Checker) Len() int { return len(c.txs) }
+
+// CheckSerializable rebuilds the DSG and returns an error describing the
+// first violation found: a cycle, a read of a version that no committed
+// transaction produced (phantom version), or duplicate timestamps.
+//
+// Version order per key is the MVTSO timestamp order of its writers, per
+// the protocol's definition (Appendix B, Lemma 1).
+func (c *Checker) CheckSerializable() error {
+	n := len(c.txs)
+	if n == 0 {
+		return nil
+	}
+	// Index writers per key by timestamp.
+	byTs := make(map[types.Timestamp]int, n)
+	for i, tx := range c.txs {
+		if j, dup := byTs[tx.Ts]; dup && c.txs[j].ID != tx.ID {
+			return fmt.Errorf("verify: duplicate timestamp %v used by two transactions", tx.Ts)
+		}
+		byTs[tx.Ts] = i
+	}
+	writers := make(map[string][]int) // key -> tx indices sorted by ts
+	for i, tx := range c.txs {
+		for k := range tx.Writes {
+			writers[k] = append(writers[k], i)
+		}
+	}
+	for _, idxs := range writers {
+		sort.Slice(idxs, func(a, b int) bool {
+			return c.txs[idxs[a]].Ts.Less(c.txs[idxs[b]].Ts)
+		})
+	}
+
+	adj := make([][]int, n)
+	addEdge := func(from, to int) {
+		if from != to {
+			adj[from] = append(adj[from], to)
+		}
+	}
+
+	// ww edges: consecutive writers in version order.
+	for _, idxs := range writers {
+		for i := 0; i+1 < len(idxs); i++ {
+			addEdge(idxs[i], idxs[i+1])
+		}
+	}
+	// wr and rw edges from read versions.
+	for i, tx := range c.txs {
+		for key, ver := range tx.Reads {
+			ws := writers[key]
+			// Locate the writer of the read version; zero version =
+			// genesis (no writer).
+			writerIdx := -1
+			if !ver.IsZero() {
+				j, ok := byTs[ver]
+				if !ok || !c.txs[j].Writes[key] {
+					return fmt.Errorf("verify: tx %v read phantom version %v of %q", tx.ID, ver, key)
+				}
+				writerIdx = j
+				addEdge(writerIdx, i) // wr
+			}
+			// rw edge: the version-order successor of the read version.
+			for _, w := range ws {
+				if ver.Less(c.txs[w].Ts) {
+					addEdge(i, w)
+					break
+				}
+			}
+		}
+	}
+
+	// Cycle detection (iterative DFS with colors).
+	color := make([]uint8, n) // 0 white, 1 gray, 2 black
+	type frame struct{ node, next int }
+	for start := 0; start < n; start++ {
+		if color[start] != 0 {
+			continue
+		}
+		stack := []frame{{start, 0}}
+		color[start] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				nb := adj[f.node][f.next]
+				f.next++
+				switch color[nb] {
+				case 0:
+					color[nb] = 1
+					stack = append(stack, frame{nb, 0})
+				case 1:
+					return fmt.Errorf("verify: DSG cycle through tx %v and tx %v (serializability violated)",
+						c.txs[f.node].ID, c.txs[nb].ID)
+				}
+				continue
+			}
+			color[f.node] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// CheckTimestampOrderConsistent additionally verifies the MVTSO claim that
+// every DSG edge goes from a lower to a higher timestamp (Appendix B,
+// Lemma 1) — a stronger, Basil-specific property.
+func (c *Checker) CheckTimestampOrderConsistent() error {
+	byTs := make(map[types.Timestamp]int, len(c.txs))
+	for i, tx := range c.txs {
+		byTs[tx.Ts] = i
+	}
+	for _, tx := range c.txs {
+		for key, ver := range tx.Reads {
+			if !ver.IsZero() {
+				if !ver.Less(tx.Ts) {
+					return fmt.Errorf("verify: tx at %v read version %v of %q from its future", tx.Ts, ver, key)
+				}
+				if j, ok := byTs[ver]; ok && !c.txs[j].Writes[key] {
+					return fmt.Errorf("verify: tx at %v read %q from non-writer", tx.Ts, key)
+				}
+			}
+		}
+	}
+	return nil
+}

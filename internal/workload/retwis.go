@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// RetwisConfig configures the Retwis social-network workload used by the
+// TAPIR evaluation and paper §6.1 (users follow a zipf 0.75 distribution).
+type RetwisConfig struct {
+	Users uint64
+	Theta float64
+}
+
+// Retwis emulates a simple social network: user profiles (user:<id>),
+// follower/following counters, per-user post lists (posts:<id>) and a
+// global post counter. The transaction mix follows the TAPIR paper:
+// AddUser 5%, Follow/Unfollow 15%, PostTweet 30%, GetTimeline 50%.
+type Retwis struct {
+	cfg      RetwisConfig
+	zipf     *Zipf
+	nextUser atomic.Uint64 // ids beyond the preloaded range, for AddUser
+}
+
+// NewRetwis builds the generator (defaults: 10k users, zipf 0.75).
+func NewRetwis(cfg RetwisConfig) *Retwis {
+	if cfg.Users == 0 {
+		cfg.Users = 10_000
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.75
+	}
+	r := &Retwis{cfg: cfg, zipf: NewZipf(cfg.Users, cfg.Theta)}
+	r.nextUser.Store(cfg.Users)
+	return r
+}
+
+// Name implements Generator.
+func (r *Retwis) Name() string { return "retwis" }
+
+func userKey(id uint64) string      { return fmt.Sprintf("user:%d", id) }
+func followersKey(id uint64) string { return fmt.Sprintf("followers:%d", id) }
+func followingKey(id uint64) string { return fmt.Sprintf("following:%d", id) }
+func postsKey(id uint64) string     { return fmt.Sprintf("posts:%d", id) }
+func postKey(id uint64) string      { return fmt.Sprintf("post:%d", id) }
+
+// Populate implements Generator.
+func (r *Retwis) Populate(load func(key string, value []byte)) {
+	for i := uint64(0); i < r.cfg.Users; i++ {
+		load(userKey(i), []byte(fmt.Sprintf("user-%d", i)))
+		load(followersKey(i), U64(0))
+		load(followingKey(i), U64(0))
+		load(postsKey(i), U64(0))
+	}
+	load("postseq", U64(0))
+}
+
+func (r *Retwis) user(rng *rand.Rand) uint64 {
+	raw := r.zipf.Next(rng)
+	return (raw * 0x9E3779B97F4A7C15) % r.cfg.Users
+}
+
+// Next implements Generator.
+func (r *Retwis) Next(rng *rand.Rand) TxnFunc {
+	p := rng.Float64()
+	switch {
+	case p < 0.05:
+		id := r.nextUser.Add(1)
+		return TxnFunc{Name: "adduser", Body: func(tx Tx) error {
+			// Reads an existing profile (referrer) then creates the user.
+			if _, err := tx.Read(userKey(r.user(rng))); err != nil {
+				return err
+			}
+			tx.Write(userKey(id), []byte(fmt.Sprintf("user-%d", id)))
+			tx.Write(followersKey(id), U64(0))
+			tx.Write(followingKey(id), U64(0))
+			tx.Write(postsKey(id), U64(0))
+			return nil
+		}}
+	case p < 0.20:
+		a, b := r.user(rng), r.user(rng)
+		for b == a {
+			b = r.user(rng)
+		}
+		return TxnFunc{Name: "follow", Body: func(tx Tx) error {
+			fa, err := tx.Read(followingKey(a))
+			if err != nil {
+				return err
+			}
+			fb, err := tx.Read(followersKey(b))
+			if err != nil {
+				return err
+			}
+			tx.Write(followingKey(a), U64(DecU64(fa)+1))
+			tx.Write(followersKey(b), U64(DecU64(fb)+1))
+			return nil
+		}}
+	case p < 0.50:
+		u := r.user(rng)
+		seq := rng.Uint64()
+		return TxnFunc{Name: "post", Body: func(tx Tx) error {
+			pc, err := tx.Read(postsKey(u))
+			if err != nil {
+				return err
+			}
+			n := DecU64(pc)
+			tx.Write(postsKey(u), U64(n+1))
+			tx.Write(postKey(u<<20|n%(1<<20)), []byte(fmt.Sprintf("tweet-%d-%d", u, seq)))
+			return nil
+		}}
+	default:
+		u := r.user(rng)
+		return TxnFunc{Name: "timeline", Body: func(tx Tx) error {
+			// Read the profile, counters and the last up-to-4 posts.
+			if _, err := tx.Read(userKey(u)); err != nil {
+				return err
+			}
+			pc, err := tx.Read(postsKey(u))
+			if err != nil {
+				return err
+			}
+			n := DecU64(pc)
+			for i := uint64(0); i < 4 && i < n; i++ {
+				idx := n - 1 - i
+				if _, err := tx.Read(postKey(u<<20 | idx%(1<<20))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}
+	}
+}

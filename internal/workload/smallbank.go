@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SmallbankConfig configures the Smallbank banking benchmark (paper §6.1:
+// one million accounts, 1,000 of which receive 90% of accesses).
+type SmallbankConfig struct {
+	Accounts       uint64
+	HotAccounts    uint64
+	HotProbability float64
+	InitialBalance int64
+}
+
+// Smallbank implements the six-transaction Smallbank mix over two tables:
+// savings (sav:<id>) and checking (chk:<id>).
+type Smallbank struct {
+	cfg SmallbankConfig
+}
+
+// NewSmallbank builds the generator with the paper's defaults when fields
+// are zero.
+func NewSmallbank(cfg SmallbankConfig) *Smallbank {
+	if cfg.Accounts == 0 {
+		cfg.Accounts = 1_000_000
+	}
+	if cfg.HotAccounts == 0 {
+		cfg.HotAccounts = 1000
+	}
+	if cfg.HotProbability == 0 {
+		cfg.HotProbability = 0.9
+	}
+	if cfg.InitialBalance == 0 {
+		cfg.InitialBalance = 10_000
+	}
+	if cfg.HotAccounts > cfg.Accounts {
+		cfg.HotAccounts = cfg.Accounts
+	}
+	return &Smallbank{cfg: cfg}
+}
+
+// Name implements Generator.
+func (s *Smallbank) Name() string { return "smallbank" }
+
+func savKey(id uint64) string { return fmt.Sprintf("sav:%d", id) }
+func chkKey(id uint64) string { return fmt.Sprintf("chk:%d", id) }
+
+// Populate implements Generator.
+func (s *Smallbank) Populate(load func(key string, value []byte)) {
+	bal := I64(s.cfg.InitialBalance)
+	for i := uint64(0); i < s.cfg.Accounts; i++ {
+		load(savKey(i), bal)
+		load(chkKey(i), bal)
+	}
+}
+
+// account draws an account id with the configured hotspot skew.
+func (s *Smallbank) account(rng *rand.Rand) uint64 {
+	if s.cfg.HotAccounts >= s.cfg.Accounts || rng.Float64() < s.cfg.HotProbability {
+		return rng.Uint64() % s.cfg.HotAccounts
+	}
+	return s.cfg.HotAccounts + rng.Uint64()%(s.cfg.Accounts-s.cfg.HotAccounts)
+}
+
+// twoAccounts draws two distinct accounts.
+func (s *Smallbank) twoAccounts(rng *rand.Rand) (uint64, uint64) {
+	a := s.account(rng)
+	b := s.account(rng)
+	for b == a {
+		b = s.account(rng)
+	}
+	return a, b
+}
+
+// Next implements Generator with the standard OLTPBench mix:
+// Amalgamate 15%, Balance 15%, DepositChecking 15%, SendPayment 25%,
+// TransactSavings 15%, WriteCheck 15%.
+func (s *Smallbank) Next(rng *rand.Rand) TxnFunc {
+	p := rng.Float64()
+	switch {
+	case p < 0.15:
+		a, b := s.twoAccounts(rng)
+		return TxnFunc{Name: "amalgamate", Body: func(tx Tx) error { return s.amalgamate(tx, a, b) }}
+	case p < 0.30:
+		a := s.account(rng)
+		return TxnFunc{Name: "balance", Body: func(tx Tx) error { return s.balance(tx, a) }}
+	case p < 0.45:
+		a := s.account(rng)
+		amt := int64(rng.Intn(100) + 1)
+		return TxnFunc{Name: "deposit", Body: func(tx Tx) error { return s.depositChecking(tx, a, amt) }}
+	case p < 0.70:
+		a, b := s.twoAccounts(rng)
+		amt := int64(rng.Intn(100) + 1)
+		return TxnFunc{Name: "sendpayment", Body: func(tx Tx) error { return s.sendPayment(tx, a, b, amt) }}
+	case p < 0.85:
+		a := s.account(rng)
+		amt := int64(rng.Intn(100) + 1)
+		return TxnFunc{Name: "transactsav", Body: func(tx Tx) error { return s.transactSavings(tx, a, amt) }}
+	default:
+		a := s.account(rng)
+		amt := int64(rng.Intn(100) + 1)
+		return TxnFunc{Name: "writecheck", Body: func(tx Tx) error { return s.writeCheck(tx, a, amt) }}
+	}
+}
+
+func (s *Smallbank) amalgamate(tx Tx, a, b uint64) error {
+	sv, err := tx.Read(savKey(a))
+	if err != nil {
+		return err
+	}
+	cv, err := tx.Read(chkKey(a))
+	if err != nil {
+		return err
+	}
+	bv, err := tx.Read(chkKey(b))
+	if err != nil {
+		return err
+	}
+	total := DecI64(sv) + DecI64(cv)
+	tx.Write(savKey(a), I64(0))
+	tx.Write(chkKey(a), I64(0))
+	tx.Write(chkKey(b), I64(DecI64(bv)+total))
+	return nil
+}
+
+func (s *Smallbank) balance(tx Tx, a uint64) error {
+	if _, err := tx.Read(savKey(a)); err != nil {
+		return err
+	}
+	_, err := tx.Read(chkKey(a))
+	return err
+}
+
+func (s *Smallbank) depositChecking(tx Tx, a uint64, amt int64) error {
+	cv, err := tx.Read(chkKey(a))
+	if err != nil {
+		return err
+	}
+	tx.Write(chkKey(a), I64(DecI64(cv)+amt))
+	return nil
+}
+
+func (s *Smallbank) sendPayment(tx Tx, a, b uint64, amt int64) error {
+	av, err := tx.Read(chkKey(a))
+	if err != nil {
+		return err
+	}
+	bv, err := tx.Read(chkKey(b))
+	if err != nil {
+		return err
+	}
+	if DecI64(av) < amt {
+		return ErrWorkloadAbort
+	}
+	tx.Write(chkKey(a), I64(DecI64(av)-amt))
+	tx.Write(chkKey(b), I64(DecI64(bv)+amt))
+	return nil
+}
+
+func (s *Smallbank) transactSavings(tx Tx, a uint64, amt int64) error {
+	sv, err := tx.Read(savKey(a))
+	if err != nil {
+		return err
+	}
+	if DecI64(sv)+amt < 0 {
+		return ErrWorkloadAbort
+	}
+	tx.Write(savKey(a), I64(DecI64(sv)+amt))
+	return nil
+}
+
+func (s *Smallbank) writeCheck(tx Tx, a uint64, amt int64) error {
+	sv, err := tx.Read(savKey(a))
+	if err != nil {
+		return err
+	}
+	cv, err := tx.Read(chkKey(a))
+	if err != nil {
+		return err
+	}
+	bal := DecI64(sv) + DecI64(cv)
+	if bal < amt {
+		amt++ // overdraft penalty, per the benchmark spec
+	}
+	tx.Write(chkKey(a), I64(DecI64(cv)-amt))
+	return nil
+}

@@ -1,0 +1,414 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// TPCCConfig configures the TPC-C OLTP benchmark (paper §6.1: 20
+// warehouses). Scale knobs exist because the in-process harness replicates
+// every key 5f+1 times; the contention structure (payment vs new-order on
+// warehouse and district rows) is preserved at any scale.
+type TPCCConfig struct {
+	Warehouses   int
+	Districts    int // per warehouse (spec: 10)
+	CustomersPer int // per district (spec: 3000)
+	Items        int // spec: 100000
+	// StockOrders bounds how many recent orders stock-level scans
+	// (spec: 20; large read sets are very expensive under BFT).
+	StockOrders int
+}
+
+// TPCC implements the five TPC-C transactions over a key-value encoding.
+// Following the paper (§6.1), secondary indices are modeled as separate
+// tables: a customer-by-last-name index and a latest-order-per-customer
+// table.
+type TPCC struct {
+	cfg TPCCConfig
+}
+
+// NewTPCC builds the generator; zero fields get spec-scale or
+// harness-scale defaults.
+func NewTPCC(cfg TPCCConfig) *TPCC {
+	if cfg.Warehouses == 0 {
+		cfg.Warehouses = 20
+	}
+	if cfg.Districts == 0 {
+		cfg.Districts = 10
+	}
+	if cfg.CustomersPer == 0 {
+		cfg.CustomersPer = 3000
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 100_000
+	}
+	if cfg.StockOrders == 0 {
+		cfg.StockOrders = 5
+	}
+	return &TPCC{cfg: cfg}
+}
+
+// Name implements Generator.
+func (t *TPCC) Name() string { return "tpcc" }
+
+// --- keys ---
+
+func wKey(w int) string       { return fmt.Sprintf("w:%d", w) }
+func dKey(w, d int) string    { return fmt.Sprintf("d:%d:%d", w, d) }
+func cKey(w, d, c int) string { return fmt.Sprintf("c:%d:%d:%d", w, d, c) }
+func cIdxKey(w, d int, ln string) string {
+	return fmt.Sprintf("cidx:%d:%d:%s", w, d, ln)
+}
+func lastOrdKey(w, d, c int) string { return fmt.Sprintf("lastord:%d:%d:%d", w, d, c) }
+func oKey(w, d int, oid uint64) string {
+	return fmt.Sprintf("o:%d:%d:%d", w, d, oid)
+}
+func noPtrKey(w, d int) string { return fmt.Sprintf("noptr:%d:%d", w, d) }
+func olKey(w, d int, oid uint64, n int) string {
+	return fmt.Sprintf("ol:%d:%d:%d:%d", w, d, oid, n)
+}
+func iKey(i int) string    { return fmt.Sprintf("i:%d", i) }
+func sKey(w, i int) string { return fmt.Sprintf("s:%d:%d", w, i) }
+func hKey(w, d, c int, seq uint64) string {
+	return fmt.Sprintf("h:%d:%d:%d:%d", w, d, c, seq)
+}
+
+// --- row codecs: fixed-width field packing ---
+
+func packU64s(vs ...uint64) []byte {
+	b := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		b = binary.BigEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+func unpackU64s(b []byte, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := 0; i < n && (i+1)*8 <= len(b); i++ {
+		out[i] = binary.BigEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// warehouseRow: [ytd, taxBP] (tax in basis points)
+// districtRow:  [ytd, nextOID, taxBP]
+// customerRow:  [balance(int64), ytdPayment, paymentCnt, deliveryCnt]
+// orderRow:     [cid, olCnt, carrier]
+// orderLine:    [item, supplyW, qty, amountCents]
+// stockRow:     [qty, ytd, orderCnt, remoteCnt]
+// itemRow:      [priceCents]
+// noPtr:        [oldestUndelivered]
+
+// lastNames renders a TPC-C style last name from a 0..999 seed.
+var lastNameParts = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName renders the spec's syllable-composed last name for seed n.
+func LastName(n int) string {
+	return lastNameParts[n/100%10] + lastNameParts[n/10%10] + lastNameParts[n%10]
+}
+
+// Populate implements Generator.
+func (t *TPCC) Populate(load func(key string, value []byte)) {
+	for w := 0; w < t.cfg.Warehouses; w++ {
+		load(wKey(w), packU64s(0, uint64(500+w%1500))) // ytd, tax
+		for i := 0; i < t.cfg.Items; i++ {
+			if w == 0 {
+				load(iKey(i), packU64s(uint64(100+i%9900))) // price
+			}
+			load(sKey(w, i), packU64s(uint64(10+i%91), 0, 0, 0))
+		}
+		for d := 0; d < t.cfg.Districts; d++ {
+			load(dKey(w, d), packU64s(0, 1, uint64(d%2000)))
+			load(noPtrKey(w, d), packU64s(1))
+			nameBuckets := make(map[string][]uint64)
+			for c := 0; c < t.cfg.CustomersPer; c++ {
+				load(cKey(w, d, c), packU64s(uint64(10_000), 0, 0, 0))
+				load(lastOrdKey(w, d, c), packU64s(0))
+				ln := LastName(c % 1000)
+				nameBuckets[ln] = append(nameBuckets[ln], uint64(c))
+			}
+			for ln, ids := range nameBuckets {
+				load(cIdxKey(w, d, ln), packU64s(ids...))
+			}
+		}
+	}
+}
+
+// Next implements Generator with the standard mix: NewOrder 45%,
+// Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%.
+func (t *TPCC) Next(rng *rand.Rand) TxnFunc {
+	p := rng.Float64()
+	w := rng.Intn(t.cfg.Warehouses)
+	d := rng.Intn(t.cfg.Districts)
+	switch {
+	case p < 0.45:
+		return t.newOrder(rng, w, d)
+	case p < 0.88:
+		return t.payment(rng, w, d)
+	case p < 0.92:
+		return t.orderStatus(rng, w, d)
+	case p < 0.96:
+		return t.delivery(rng, w)
+	default:
+		return t.stockLevel(rng, w, d)
+	}
+}
+
+// nuRand is the spec's non-uniform random distribution.
+func nuRand(rng *rand.Rand, a, x, y int) int {
+	c := 123 % (a + 1)
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+func (t *TPCC) customer(rng *rand.Rand) int {
+	return nuRand(rng, 1023, 0, t.cfg.CustomersPer-1)
+}
+
+func (t *TPCC) item(rng *rand.Rand) int {
+	return nuRand(rng, 8191, 0, t.cfg.Items-1)
+}
+
+// newOrder: the order-entry transaction; 1% roll back on an invalid item.
+func (t *TPCC) newOrder(rng *rand.Rand, w, d int) TxnFunc {
+	c := t.customer(rng)
+	nItems := 5 + rng.Intn(11)
+	items := make([]int, nItems)
+	supply := make([]int, nItems)
+	qty := make([]uint64, nItems)
+	seen := make(map[int]bool)
+	for i := range items {
+		it := t.item(rng)
+		for seen[it] {
+			it = t.item(rng)
+		}
+		seen[it] = true
+		items[i] = it
+		supply[i] = w
+		if t.cfg.Warehouses > 1 && rng.Intn(100) == 0 {
+			supply[i] = rng.Intn(t.cfg.Warehouses) // remote order line
+		}
+		qty[i] = uint64(1 + rng.Intn(10))
+	}
+	invalid := rng.Intn(100) == 0
+	return TxnFunc{Name: "neworder", Body: func(tx Tx) error {
+		if _, err := tx.Read(wKey(w)); err != nil {
+			return err
+		}
+		dRow, err := tx.Read(dKey(w, d))
+		if err != nil {
+			return err
+		}
+		df := unpackU64s(dRow, 3)
+		oid := df[1]
+		tx.Write(dKey(w, d), packU64s(df[0], oid+1, df[2]))
+		if _, err := tx.Read(cKey(w, d, c)); err != nil {
+			return err
+		}
+		if invalid {
+			return ErrWorkloadAbort // unused item number: rolled back
+		}
+		var total uint64
+		for i, it := range items {
+			iRow, err := tx.Read(iKey(it))
+			if err != nil {
+				return err
+			}
+			price := unpackU64s(iRow, 1)[0]
+			sRow, err := tx.Read(sKey(supply[i], it))
+			if err != nil {
+				return err
+			}
+			sf := unpackU64s(sRow, 4)
+			newQty := sf[0]
+			if newQty >= qty[i]+10 {
+				newQty -= qty[i]
+			} else {
+				newQty = newQty - qty[i] + 91
+			}
+			remote := uint64(0)
+			if supply[i] != w {
+				remote = 1
+			}
+			tx.Write(sKey(supply[i], it), packU64s(newQty, sf[1]+qty[i], sf[2]+1, sf[3]+remote))
+			amount := qty[i] * price
+			total += amount
+			tx.Write(olKey(w, d, oid, i), packU64s(uint64(it), uint64(supply[i]), qty[i], amount))
+		}
+		tx.Write(oKey(w, d, oid), packU64s(uint64(c), uint64(nItems), 0))
+		tx.Write(lastOrdKey(w, d, c), packU64s(oid))
+		return nil
+	}}
+}
+
+// payment: 60% by customer id, 40% by last name through the index table.
+func (t *TPCC) payment(rng *rand.Rand, w, d int) TxnFunc {
+	amount := uint64(100 + rng.Intn(500_000))
+	byName := rng.Intn(100) < 40
+	c := t.customer(rng)
+	ln := LastName(nuRand(rng, 255, 0, 999) % 1000)
+	seq := rng.Uint64()
+	return TxnFunc{Name: "payment", Body: func(tx Tx) error {
+		wRow, err := tx.Read(wKey(w))
+		if err != nil {
+			return err
+		}
+		wf := unpackU64s(wRow, 2)
+		tx.Write(wKey(w), packU64s(wf[0]+amount, wf[1]))
+		dRow, err := tx.Read(dKey(w, d))
+		if err != nil {
+			return err
+		}
+		df := unpackU64s(dRow, 3)
+		tx.Write(dKey(w, d), packU64s(df[0]+amount, df[1], df[2]))
+		cid := c
+		if byName {
+			idx, err := tx.Read(cIdxKey(w, d, ln))
+			if err != nil {
+				return err
+			}
+			n := len(idx) / 8
+			if n == 0 {
+				return ErrWorkloadAbort
+			}
+			ids := unpackU64s(idx, n)
+			cid = int(ids[n/2]) // spec: pick the middle customer
+		}
+		cRow, err := tx.Read(cKey(w, d, cid))
+		if err != nil {
+			return err
+		}
+		cf := unpackU64s(cRow, 4)
+		tx.Write(cKey(w, d, cid), packU64s(cf[0]-amount, cf[1]+amount, cf[2]+1, cf[3]))
+		tx.Write(hKey(w, d, cid, seq), packU64s(amount))
+		return nil
+	}}
+}
+
+// orderStatus: read-only; customer's latest order and its lines.
+func (t *TPCC) orderStatus(rng *rand.Rand, w, d int) TxnFunc {
+	byName := rng.Intn(100) < 60
+	c := t.customer(rng)
+	ln := LastName(nuRand(rng, 255, 0, 999) % 1000)
+	return TxnFunc{Name: "orderstatus", Body: func(tx Tx) error {
+		cid := c
+		if byName {
+			idx, err := tx.Read(cIdxKey(w, d, ln))
+			if err != nil {
+				return err
+			}
+			n := len(idx) / 8
+			if n == 0 {
+				return ErrWorkloadAbort
+			}
+			cid = int(unpackU64s(idx, n)[n/2])
+		}
+		if _, err := tx.Read(cKey(w, d, cid)); err != nil {
+			return err
+		}
+		lo, err := tx.Read(lastOrdKey(w, d, cid))
+		if err != nil {
+			return err
+		}
+		oid := unpackU64s(lo, 1)[0]
+		if oid == 0 {
+			return nil // customer has no orders yet
+		}
+		oRow, err := tx.Read(oKey(w, d, oid))
+		if err != nil {
+			return err
+		}
+		of := unpackU64s(oRow, 3)
+		for i := uint64(0); i < of[1]; i++ {
+			if _, err := tx.Read(olKey(w, d, oid, int(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+// delivery: deliver the oldest undelivered order of each district.
+func (t *TPCC) delivery(rng *rand.Rand, w int) TxnFunc {
+	carrier := uint64(1 + rng.Intn(10))
+	return TxnFunc{Name: "delivery", Body: func(tx Tx) error {
+		for d := 0; d < t.cfg.Districts; d++ {
+			ptrRow, err := tx.Read(noPtrKey(w, d))
+			if err != nil {
+				return err
+			}
+			oldest := unpackU64s(ptrRow, 1)[0]
+			dRow, err := tx.Read(dKey(w, d))
+			if err != nil {
+				return err
+			}
+			nextOID := unpackU64s(dRow, 3)[1]
+			if oldest >= nextOID {
+				continue // no undelivered orders in this district
+			}
+			oRow, err := tx.Read(oKey(w, d, oldest))
+			if err != nil {
+				return err
+			}
+			of := unpackU64s(oRow, 3)
+			cid, olCnt := int(of[0]), of[1]
+			var total uint64
+			for i := uint64(0); i < olCnt; i++ {
+				olRow, err := tx.Read(olKey(w, d, oldest, int(i)))
+				if err != nil {
+					return err
+				}
+				total += unpackU64s(olRow, 4)[3]
+			}
+			tx.Write(oKey(w, d, oldest), packU64s(of[0], of[1], carrier))
+			cRow, err := tx.Read(cKey(w, d, cid))
+			if err != nil {
+				return err
+			}
+			cf := unpackU64s(cRow, 4)
+			tx.Write(cKey(w, d, cid), packU64s(cf[0]+total, cf[1], cf[2], cf[3]+1))
+			tx.Write(noPtrKey(w, d), packU64s(oldest+1))
+		}
+		return nil
+	}}
+}
+
+// stockLevel: read-only; counts low-stock items across recent orders.
+func (t *TPCC) stockLevel(rng *rand.Rand, w, d int) TxnFunc {
+	threshold := uint64(10 + rng.Intn(11))
+	return TxnFunc{Name: "stocklevel", Body: func(tx Tx) error {
+		dRow, err := tx.Read(dKey(w, d))
+		if err != nil {
+			return err
+		}
+		nextOID := unpackU64s(dRow, 3)[1]
+		low := 0
+		start := uint64(1)
+		if nextOID > uint64(t.cfg.StockOrders) {
+			start = nextOID - uint64(t.cfg.StockOrders)
+		}
+		for oid := start; oid < nextOID; oid++ {
+			oRow, err := tx.Read(oKey(w, d, oid))
+			if err != nil {
+				return err
+			}
+			of := unpackU64s(oRow, 3)
+			for i := uint64(0); i < of[1]; i++ {
+				olRow, err := tx.Read(olKey(w, d, oid, int(i)))
+				if err != nil {
+					return err
+				}
+				item := unpackU64s(olRow, 4)[0]
+				sRow, err := tx.Read(sKey(w, int(item)))
+				if err != nil {
+					return err
+				}
+				if unpackU64s(sRow, 4)[0] < threshold {
+					low++
+				}
+			}
+		}
+		return nil
+	}}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+)
+
+// Tx is the transactional interface every system under test exposes
+// (Basil, TAPIR, TxHotstuff, TxBFT-SMaRt). Commit/Abort are driven by the
+// harness; workload transaction bodies only Read and Write.
+type Tx interface {
+	Read(key string) ([]byte, error)
+	Write(key string, value []byte)
+}
+
+// ErrWorkloadAbort is returned by a transaction body that decides to abort
+// for application reasons (e.g. TPC-C new-order with an invalid item).
+// The harness counts these separately from serializability aborts.
+var ErrWorkloadAbort = errors.New("workload: application abort")
+
+// TxnFunc is one transaction body. The harness wraps it with Begin/Commit.
+type TxnFunc struct {
+	// Name labels the transaction type for per-type statistics.
+	Name string
+	// Body performs the reads and writes.
+	Body func(tx Tx) error
+}
+
+// Generator produces a workload: an initial database and a stream of
+// transactions.
+type Generator interface {
+	// Name labels the workload.
+	Name() string
+	// Populate emits every initial (key, value) pair.
+	Populate(load func(key string, value []byte))
+	// Next draws the next transaction using the caller's rng (each
+	// closed-loop client owns one rng; generators must be stateless or
+	// internally synchronized).
+	Next(rng *rand.Rand) TxnFunc
+}
+
+// --- small codec helpers shared by the workloads ---
+
+// U64 encodes v as 8 big-endian bytes.
+func U64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// DecU64 decodes an 8-byte value; zero on short input.
+func DecU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 encodes a signed value.
+func I64(v int64) []byte { return U64(uint64(v)) }
+
+// DecI64 decodes a signed value.
+func DecI64(b []byte) int64 { return int64(DecU64(b)) }

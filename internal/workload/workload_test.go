@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// memTx is an in-memory Tx for running workload bodies without a cluster.
+type memTx struct {
+	db     map[string][]byte
+	writes map[string][]byte
+}
+
+func newMemTx(db map[string][]byte) *memTx {
+	return &memTx{db: db, writes: make(map[string][]byte)}
+}
+
+func (t *memTx) Read(key string) ([]byte, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, nil
+	}
+	return t.db[key], nil
+}
+
+func (t *memTx) Write(key string, value []byte) { t.writes[key] = value }
+
+func (t *memTx) commit() {
+	for k, v := range t.writes {
+		t.db[k] = v
+	}
+	t.writes = make(map[string][]byte)
+}
+
+// runWorkload executes n transactions of gen against an in-memory store.
+func runWorkload(t *testing.T, gen Generator, n int, seed int64) map[string][]byte {
+	t.Helper()
+	db := make(map[string][]byte)
+	gen.Populate(func(k string, v []byte) { db[k] = append([]byte(nil), v...) })
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		fn := gen.Next(rng)
+		tx := newMemTx(db)
+		err := fn.Body(tx)
+		if err != nil && !errors.Is(err, ErrWorkloadAbort) {
+			t.Fatalf("%s tx %d (%s): %v", gen.Name(), i, fn.Name, err)
+		}
+		if err == nil {
+			tx.commit()
+		}
+	}
+	return db
+}
+
+func TestZipfBounds(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.75, 0.9, 0.99} {
+		z := NewZipf(1000, theta)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 10_000; i++ {
+			v := z.Next(rng)
+			if v >= 1000 {
+				t.Fatalf("theta=%v out of range: %d", theta, v)
+			}
+		}
+	}
+}
+
+func TestZipfSkewIncreasesWithTheta(t *testing.T) {
+	share := func(theta float64) float64 {
+		z := NewZipf(10_000, theta)
+		rng := rand.New(rand.NewSource(7))
+		hot := 0
+		const draws = 50_000
+		for i := 0; i < draws; i++ {
+			if z.Next(rng) < 100 { // top 1% of keys
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	s75, s90 := share(0.75), share(0.90)
+	if !(s90 > s75 && s75 > 0.05) {
+		t.Fatalf("skew ordering wrong: s75=%.3f s90=%.3f", s75, s90)
+	}
+}
+
+func TestZipfDeterministicForSeed(t *testing.T) {
+	f := func(seed int64) bool {
+		z := NewZipf(500, 0.9)
+		a := z.Next(rand.New(rand.NewSource(seed)))
+		b := z.Next(rand.New(rand.NewSource(seed)))
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYCSBDistinctKeysPerTx(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Keys: 100, ReadOps: 3, WriteOps: 3, Theta: 0.9})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		fn := y.Next(rng)
+		db := make(map[string][]byte)
+		y.Populate(func(k string, v []byte) { db[k] = v })
+		tx := newMemTx(db)
+		if err := fn.Body(tx); err != nil {
+			t.Fatal(err)
+		}
+		if len(tx.writes) != 3 {
+			t.Fatalf("expected 3 writes, got %d", len(tx.writes))
+		}
+	}
+}
+
+func TestYCSBReadOnly(t *testing.T) {
+	y := ReadOnlyYCSB(100, 24)
+	rng := rand.New(rand.NewSource(3))
+	db := make(map[string][]byte)
+	y.Populate(func(k string, v []byte) { db[k] = v })
+	fn := y.Next(rng)
+	tx := newMemTx(db)
+	if err := fn.Body(tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.writes) != 0 {
+		t.Fatal("read-only workload wrote")
+	}
+}
+
+func TestSmallbankConservation(t *testing.T) {
+	// Money moves between accounts but (modulo deposits/withdrawals,
+	// which are external flows) the running of sendPayment and amalgamate
+	// alone conserves totals. Run the full mix and verify per-transaction
+	// deltas match the transaction type.
+	sb := NewSmallbank(SmallbankConfig{Accounts: 50, HotAccounts: 10})
+	db := make(map[string][]byte)
+	sb.Populate(func(k string, v []byte) { db[k] = append([]byte(nil), v...) })
+	total := func() int64 {
+		var sum int64
+		for _, v := range db {
+			sum += DecI64(v)
+		}
+		return sum
+	}
+	before := total()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		fn := sb.Next(rng)
+		if fn.Name != "sendpayment" && fn.Name != "amalgamate" && fn.Name != "balance" {
+			continue
+		}
+		tx := newMemTx(db)
+		err := fn.Body(tx)
+		if err != nil && !errors.Is(err, ErrWorkloadAbort) {
+			t.Fatal(err)
+		}
+		if err == nil {
+			tx.commit()
+		}
+		if got := total(); got != before {
+			t.Fatalf("tx %d (%s) changed total: %d -> %d", i, fn.Name, before, got)
+		}
+	}
+}
+
+func TestSmallbankHotSkew(t *testing.T) {
+	sb := NewSmallbank(SmallbankConfig{Accounts: 10_000, HotAccounts: 100, HotProbability: 0.9})
+	rng := rand.New(rand.NewSource(5))
+	hot := 0
+	const draws = 10_000
+	for i := 0; i < draws; i++ {
+		if sb.account(rng) < 100 {
+			hot++
+		}
+	}
+	if share := float64(hot) / draws; math.Abs(share-0.9) > 0.03 {
+		t.Fatalf("hot share %.3f, want ~0.9", share)
+	}
+}
+
+func TestSmallbankRuns(t *testing.T) {
+	runWorkload(t, NewSmallbank(SmallbankConfig{Accounts: 100}), 500, 1)
+}
+
+func TestRetwisRuns(t *testing.T) {
+	db := runWorkload(t, NewRetwis(RetwisConfig{Users: 100}), 500, 2)
+	if len(db) == 0 {
+		t.Fatal("retwis produced no state")
+	}
+}
+
+func TestRetwisFollowSymmetric(t *testing.T) {
+	r := NewRetwis(RetwisConfig{Users: 50})
+	db := make(map[string][]byte)
+	r.Populate(func(k string, v []byte) { db[k] = append([]byte(nil), v...) })
+	rng := rand.New(rand.NewSource(11))
+	followers, following := uint64(0), uint64(0)
+	for i := 0; i < 400; i++ {
+		fn := r.Next(rng)
+		if fn.Name != "follow" {
+			continue
+		}
+		tx := newMemTx(db)
+		if err := fn.Body(tx); err != nil {
+			t.Fatal(err)
+		}
+		tx.commit()
+	}
+	for i := uint64(0); i < 50; i++ {
+		followers += DecU64(db[followersKey(i)])
+		following += DecU64(db[followingKey(i)])
+	}
+	if followers != following {
+		t.Fatalf("follow counters asymmetric: %d followers vs %d following", followers, following)
+	}
+}
+
+func TestTPCCRuns(t *testing.T) {
+	gen := NewTPCC(TPCCConfig{Warehouses: 1, Districts: 2, CustomersPer: 40, Items: 60, StockOrders: 2})
+	runWorkload(t, gen, 400, 3)
+}
+
+func TestTPCCNewOrderAdvancesOID(t *testing.T) {
+	gen := NewTPCC(TPCCConfig{Warehouses: 1, Districts: 1, CustomersPer: 10, Items: 20, StockOrders: 2})
+	db := make(map[string][]byte)
+	gen.Populate(func(k string, v []byte) { db[k] = append([]byte(nil), v...) })
+	rng := rand.New(rand.NewSource(4))
+	orders := 0
+	for i := 0; i < 200 && orders < 10; i++ {
+		fn := gen.Next(rng)
+		if fn.Name != "neworder" {
+			continue
+		}
+		tx := newMemTx(db)
+		err := fn.Body(tx)
+		if errors.Is(err, ErrWorkloadAbort) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.commit()
+		orders++
+	}
+	next := unpackU64s(db[dKey(0, 0)], 3)[1]
+	if next < uint64(orders) {
+		t.Fatalf("district nextOID %d after %d orders", next, orders)
+	}
+	// Every created order must have its order lines present.
+	for oid := uint64(1); oid < next; oid++ {
+		oRow, ok := db[oKey(0, 0, oid)]
+		if !ok {
+			continue // rolled-back slot
+		}
+		cnt := unpackU64s(oRow, 3)[1]
+		for i := uint64(0); i < cnt; i++ {
+			if _, ok := db[olKey(0, 0, oid, int(i))]; !ok {
+				t.Fatalf("order %d missing line %d", oid, i)
+			}
+		}
+	}
+}
+
+func TestTPCCLastNameIndex(t *testing.T) {
+	gen := NewTPCC(TPCCConfig{Warehouses: 1, Districts: 1, CustomersPer: 200, Items: 20})
+	db := make(map[string][]byte)
+	gen.Populate(func(k string, v []byte) { db[k] = v })
+	// Every customer must be reachable through its last-name bucket.
+	for c := 0; c < 200; c++ {
+		ln := LastName(c % 1000)
+		idx, ok := db[cIdxKey(0, 0, ln)]
+		if !ok {
+			t.Fatalf("missing index bucket %s", ln)
+		}
+		found := false
+		for _, id := range unpackU64s(idx, len(idx)/8) {
+			if id == uint64(c) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("customer %d not in bucket %s", c, ln)
+		}
+	}
+}
+
+func TestLastNameSyllables(t *testing.T) {
+	if LastName(0) != "BARBARBAR" || LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("syllable composition wrong: %q %q", LastName(0), LastName(371))
+	}
+}
+
+func TestCodecs(t *testing.T) {
+	if DecU64(U64(12345)) != 12345 || DecI64(I64(-7)) != -7 {
+		t.Fatal("codec round trip failed")
+	}
+	if DecU64(nil) != 0 || DecU64([]byte{1}) != 0 {
+		t.Fatal("short input should decode to zero")
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// YCSBConfig configures the YCSB-T microbenchmark of paper §6.2: identical
+// transactions of ReadOps reads and WriteOps read-modify-writes over Keys
+// keys, drawn uniformly (Theta = 0) or zipf-skewed (RW-Z uses Theta 0.9).
+type YCSBConfig struct {
+	Keys      uint64
+	ReadOps   int
+	WriteOps  int
+	Theta     float64 // 0 = uniform; paper uses 0.9 for RW-Z
+	ValueSize int
+}
+
+// YCSB is the YCSB-T generator.
+type YCSB struct {
+	cfg  YCSBConfig
+	zipf *Zipf
+	name string
+}
+
+// NewYCSB builds the generator. The paper's configurations:
+//
+//	RW-U: Theta 0, 10M keys, 2 reads + 2 writes
+//	RW-Z: Theta 0.9, 10M keys, 2 reads + 2 writes
+func NewYCSB(cfg YCSBConfig) *YCSB {
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 20
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	y := &YCSB{cfg: cfg}
+	if cfg.Theta > 0 {
+		y.zipf = NewZipf(cfg.Keys, cfg.Theta)
+		y.name = fmt.Sprintf("ycsb-rw-z%.2f", cfg.Theta)
+	} else {
+		y.name = "ycsb-rw-u"
+	}
+	return y
+}
+
+// Name implements Generator.
+func (y *YCSB) Name() string { return y.name }
+
+// Key renders key i.
+func (y *YCSB) Key(i uint64) string { return fmt.Sprintf("ycsb:%d", i) }
+
+// Populate implements Generator.
+func (y *YCSB) Populate(load func(key string, value []byte)) {
+	val := make([]byte, y.cfg.ValueSize)
+	for i := uint64(0); i < y.cfg.Keys; i++ {
+		load(y.Key(i), val)
+	}
+}
+
+func (y *YCSB) nextKey(rng *rand.Rand) uint64 {
+	if y.zipf != nil {
+		// Scramble so hot keys scatter across shards, as YCSB does.
+		raw := y.zipf.Next(rng)
+		return (raw * 0x9E3779B97F4A7C15) % y.cfg.Keys
+	}
+	return rng.Uint64() % y.cfg.Keys
+}
+
+// Next implements Generator: WriteOps read-modify-writes followed by
+// ReadOps plain reads over distinct keys.
+func (y *YCSB) Next(rng *rand.Rand) TxnFunc {
+	total := y.cfg.ReadOps + y.cfg.WriteOps
+	keys := make([]uint64, 0, total)
+	seen := make(map[uint64]bool, total)
+	for len(keys) < total {
+		k := y.nextKey(rng)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	writes := y.cfg.WriteOps
+	stamp := rng.Uint64()
+	return TxnFunc{
+		Name: "rw",
+		Body: func(tx Tx) error {
+			for i, k := range keys {
+				key := y.Key(k)
+				v, err := tx.Read(key)
+				if err != nil {
+					return err
+				}
+				if i < writes {
+					nv := make([]byte, len(v))
+					copy(nv, v)
+					if len(nv) < 8 {
+						nv = make([]byte, 8)
+					}
+					for j := 0; j < 8; j++ {
+						nv[j] = byte(stamp >> (8 * j))
+					}
+					tx.Write(key, nv)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ReadOnly returns a read-only YCSB variant with n reads per transaction
+// (paper Fig. 5b uses 24).
+func ReadOnlyYCSB(keys uint64, reads int) *YCSB {
+	y := NewYCSB(YCSBConfig{Keys: keys, ReadOps: reads, WriteOps: 0})
+	y.name = fmt.Sprintf("ycsb-ro%d", reads)
+	return y
+}

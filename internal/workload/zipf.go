@@ -1,0 +1,65 @@
+// Package workload implements the paper's four benchmark workloads —
+// YCSB-T (§6.2), Smallbank, Retwis and TPC-C (§6.1) — as generators over a
+// generic transactional key-value interface, so the same workload drives
+// Basil, TAPIR and the ordered-log baselines.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf generates zipf-distributed values in [0, n) with parameter theta in
+// (0, 1), using the YCSB/Gray et al. algorithm. (The stdlib rand.Zipf
+// requires s > 1 and cannot express the paper's 0.75 and 0.9 skews.)
+type Zipf struct {
+	n       uint64
+	theta   float64
+	alpha   float64
+	zetan   float64
+	eta     float64
+	zeta2th float64
+}
+
+// NewZipf builds a generator over [0, n). theta must be in (0, 1);
+// theta = 0 is served by the caller using a uniform draw instead.
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2th = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2th/z.zetan)
+	return z
+}
+
+// zetaStatic computes sum_{i=1..n} 1/i^theta. O(n) once at setup; for the
+// paper's key counts (≤10M) this is a few tens of milliseconds.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / pow(float64(i), theta)
+	}
+	return sum
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Next draws the next zipf value using rng.
+func (z *Zipf) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// N returns the generator's range.
+func (z *Zipf) N() uint64 { return z.n }
