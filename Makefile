@@ -1,0 +1,31 @@
+# Tier-1 verification plus formatting/lint gates. `make check` is what CI
+# (and every PR) must keep green; it would have caught the missing-go.mod
+# breakage this target suite was introduced to prevent.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The transport and codec tests are required to pass under the race
+# detector (per-connection writer goroutines, reverse-route eviction).
+race:
+	$(GO) test -race ./internal/transport/ ./internal/types/ ./internal/cryptoutil/ ./basil/ -run 'TestTCP|TestWire|TestBatch'
+
+bench:
+	$(GO) test ./internal/types/ -run xxx -bench BenchmarkWireCodec
+	$(GO) test ./internal/transport/ -run xxx -bench BenchmarkTCPTransport

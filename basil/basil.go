@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,7 +81,14 @@ type Options struct {
 	// Seed makes key generation deterministic. Default 1.
 	Seed int64
 	// Net overrides the transport (default: in-process Local network).
+	// Mutually exclusive with TCPLoopback.
 	Net *transport.Local
+	// TCPLoopback runs every replica and every client on its own TCP
+	// transport bound to 127.0.0.1 — one socket mesh inside one process,
+	// carrying the exact framed wire format a real multi-process
+	// deployment uses (see internal/transport/tcp.go). Useful for
+	// measuring the wire path without multi-process orchestration.
+	TCPLoopback bool
 	// ReplicaByzantine, if set, installs a misbehavior strategy on the
 	// selected replicas. Used by the fault-injection harness.
 	ReplicaByzantine func(shard, index int32) replica.ByzantineStrategy
@@ -125,9 +133,14 @@ func (o *Options) withDefaults() {
 // Cluster is a running Basil deployment: Shards×(5F+1) replicas attached
 // to one transport, plus the key registry all parties verify against.
 type Cluster struct {
-	opts     Options
-	net      *transport.Local
-	ownNet   bool
+	opts    Options
+	net     *transport.Local
+	ownNet  bool
+	tcpBook map[transport.Addr]string // TCPLoopback address book
+
+	tcpMu   sync.Mutex
+	tcpNets []*transport.TCP // every owned TCP transport; guarded by tcpMu
+
 	registry *cryptoutil.Registry
 	replicas [][]*replica.Replica // [shard][index]
 	signerOf quorum.SignerOf
@@ -141,7 +154,10 @@ func NewCluster(opts Options) *Cluster {
 	n := 5*opts.F + 1
 	net := opts.Net
 	own := false
-	if net == nil {
+	if opts.TCPLoopback && net != nil {
+		panic("basil: Options.Net and TCPLoopback are mutually exclusive")
+	}
+	if net == nil && !opts.TCPLoopback {
 		net = transport.NewLocal()
 		own = true
 	}
@@ -151,16 +167,28 @@ func NewCluster(opts Options) *Cluster {
 		opts: opts, net: net, ownNet: own, registry: reg, signerOf: signerOf,
 		replicas: make([][]*replica.Replica, opts.Shards),
 	}
+	if opts.TCPLoopback {
+		c.tcpBook = make(map[transport.Addr]string)
+	}
 	for s := 0; s < opts.Shards; s++ {
 		c.replicas[s] = make([]*replica.Replica, n)
 		for i := 0; i < n; i++ {
+			var nodeNet transport.Network = net
+			if opts.TCPLoopback {
+				// Each replica is its own "process": a listener on an
+				// ephemeral loopback port, registered in the shared
+				// address book before any traffic flows.
+				tn := c.newTCPNet("127.0.0.1:0")
+				c.tcpBook[transport.ReplicaAddr(int32(s), int32(i))] = tn.ListenAddr()
+				nodeNet = tn
+			}
 			cfg := replica.Config{
 				Shard: int32(s), Index: int32(i), F: opts.F,
 				DeltaMicros: opts.DeltaMicros,
 				BatchSize:   opts.BatchSize, BatchDelay: opts.BatchDelay,
 				Clock: opts.Clock, Registry: reg,
 				SignerID: signerOf(int32(s), int32(i)), SignerOf: signerOf,
-				Net:                 net,
+				Net:                 nodeNet,
 				AllowUnvalidatedST2: opts.AllowUnvalidatedST2,
 			}
 			if opts.ReplicaByzantine != nil {
@@ -170,6 +198,31 @@ func NewCluster(opts Options) *Cluster {
 		}
 	}
 	return c
+}
+
+// newTCPNet creates one owned TCP transport over the cluster's shared
+// address book. Loopback listen failures mean the host cannot run the
+// requested topology at all, so they are fatal.
+func (c *Cluster) newTCPNet(listen string) *transport.TCP {
+	tn, err := transport.NewTCP(listen, c.tcpBook)
+	if err != nil {
+		panic(fmt.Sprintf("basil: TCPLoopback transport: %v", err))
+	}
+	c.tcpMu.Lock()
+	c.tcpNets = append(c.tcpNets, tn)
+	c.tcpMu.Unlock()
+	return tn
+}
+
+// clientNet returns the transport a new client should attach to: the
+// shared net, or (TCPLoopback) a fresh client-only TCP transport that
+// reaches replicas through the address book and receives replies over
+// its dialed connections (reverse routing).
+func (c *Cluster) clientNet() transport.Network {
+	if !c.opts.TCPLoopback {
+		return c.net
+	}
+	return c.newTCPNet("")
 }
 
 func schemeOf(o Options) cryptoutil.Scheme {
@@ -194,7 +247,7 @@ func (c *Cluster) NewClient() *Client {
 	inner := client.New(client.Config{
 		ID: id, F: c.opts.F, NumShards: int32(c.opts.Shards),
 		ShardOf: c.opts.ShardOf, Clock: c.opts.Clock,
-		Registry: c.registry, SignerOf: c.signerOf, Net: c.net,
+		Registry: c.registry, SignerOf: c.signerOf, Net: c.clientNet(),
 		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
 		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
 		RetryTimeout: c.opts.RetryTimeout,
@@ -211,7 +264,7 @@ func (c *Cluster) NewClientWithClock(clk clock.Clock) *Client {
 	inner := client.New(client.Config{
 		ID: id, F: c.opts.F, NumShards: int32(c.opts.Shards),
 		ShardOf: c.opts.ShardOf, Clock: clk,
-		Registry: c.registry, SignerOf: c.signerOf, Net: c.net,
+		Registry: c.registry, SignerOf: c.signerOf, Net: c.clientNet(),
 		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
 		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
 		RetryTimeout: c.opts.RetryTimeout,
@@ -233,9 +286,11 @@ func (c *Cluster) ReplicaCount() int { return 5*c.opts.F + 1 }
 func (c *Cluster) Shards() int { return c.opts.Shards }
 
 // Net exposes the transport for policy injection (latency, partitions).
+// It is nil when the cluster runs over TCPLoopback — link policies apply
+// to the in-process Local network only.
 func (c *Cluster) Net() *transport.Local { return c.net }
 
-// Close flushes replicas and stops the transport (if owned).
+// Close flushes replicas and stops the owned transports.
 func (c *Cluster) Close() {
 	for _, shard := range c.replicas {
 		for _, r := range shard {
@@ -244,6 +299,13 @@ func (c *Cluster) Close() {
 	}
 	if c.ownNet {
 		c.net.Close()
+	}
+	c.tcpMu.Lock()
+	nets := c.tcpNets
+	c.tcpNets = nil
+	c.tcpMu.Unlock()
+	for _, tn := range nets {
+		tn.Close()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/basil"
 	"repro/internal/client"
 	"repro/internal/cryptoutil"
 	"repro/internal/quorum"
@@ -88,5 +89,43 @@ func TestTCPDeployment(t *testing.T) {
 	}
 	if got := fmt.Sprint(c.Stats.TxCommitted.Load()); got != "1" {
 		t.Fatalf("committed count %s", got)
+	}
+}
+
+// TestTCPLoopbackCluster exercises the same socket mesh through the public
+// API: basil.Options.TCPLoopback gives every replica and client its own
+// TCP transport on loopback, so the whole protocol crosses the framed
+// canonical wire format.
+func TestTCPLoopbackCluster(t *testing.T) {
+	cl := basil.NewCluster(basil.Options{F: 1, Shards: 2, TCPLoopback: true})
+	defer cl.Close()
+	cl.Load("a", []byte("1"))
+	cl.Load("b", []byte("2"))
+
+	c := cl.NewClient()
+	err := c.Run(func(tx *basil.Txn) error {
+		va, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		vb, err := tx.Read("b")
+		if err != nil {
+			return err
+		}
+		tx.Write("a", append(va, vb...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tcp-loopback txn: %v", err)
+	}
+
+	tx := c.Begin()
+	v, err := tx.Read("a")
+	tx.Abort()
+	if err != nil {
+		t.Fatalf("tcp-loopback read-back: %v", err)
+	}
+	if string(v) != "12" {
+		t.Fatalf("read %q, want %q", v, "12")
 	}
 }

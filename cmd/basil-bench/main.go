@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -95,6 +95,11 @@ func main() {
 	if run("rates") {
 		any = true
 		t := benchharness.CommitRates(scale)
+		t.Render(out)
+	}
+	if run("wire") {
+		any = true
+		t := benchharness.FigWire(scale)
 		t.Render(out)
 	}
 	if !any {

@@ -39,6 +39,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated shard:index=host:port routes for all replicas")
 	seed := flag.Int64("seed", 1, "registry key seed (must match across all nodes)")
 	batch := flag.Int("batch", 16, "reply signature batch size")
+	maxFrame := flag.Int("maxframe", 16<<20, "largest wire frame in bytes, sent or accepted; must be identical on every node of the deployment (a frame one node sends but another rejects kills the connection)")
 	flag.Parse()
 
 	shard, index, err := parseReplica(*which)
@@ -50,7 +51,7 @@ func main() {
 		log.Fatalf("bad -peers: %v", err)
 	}
 
-	net, err := transport.NewTCP(*listen, book)
+	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{MaxFrame: *maxFrame})
 	if err != nil {
 		log.Fatalf("transport: %v", err)
 	}

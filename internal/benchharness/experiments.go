@@ -107,6 +107,18 @@ func NewBasil(gen workload.Generator, opts basil.Options) *BasilSystem {
 	return sys
 }
 
+// NewBasilTCP builds a populated Basil system whose replicas and clients
+// each run on their own TCP transport over loopback, so every protocol
+// message crosses the framed canonical wire codec exactly as in a real
+// multi-process deployment.
+func NewBasilTCP(gen workload.Generator, opts basil.Options) *BasilSystem {
+	opts.Net = nil
+	opts.TCPLoopback = true
+	sys := &BasilSystem{C: basil.NewCluster(opts), Label: "Basil/TCP"}
+	Populate(sys, gen)
+	return sys
+}
+
 // NewTapir builds a populated TAPIR system.
 func NewTapir(gen workload.Generator, shards int) *TapirSystem {
 	sys := &TapirSystem{C: tapir.NewCluster(tapir.Config{F: 1, Shards: shards})}
@@ -365,6 +377,30 @@ func FigLatency(s Scale, delay time.Duration) Table {
 		sys.Close()
 		t.Rows = append(t.Rows, []string{kind.String(), f2(r.MeanLatMs), f1(r.Throughput)})
 	}
+	return t
+}
+
+// FigWire is a reproduction-aid experiment not in the paper: the same
+// YCSB workload over the in-process Local transport and over real
+// loopback TCP sockets carrying the framed canonical wire codec. The gap
+// between the rows is the whole cost of serialization, framing, and the
+// kernel socket path.
+func FigWire(s Scale) Table {
+	t := Table{Title: "Wire path: in-process Local vs framed TCP loopback",
+		Header: []string{"transport", "tput (tx/s)", "mean lat (ms)", "p99 lat (ms)"}}
+	gen := workload.NewYCSB(workload.YCSBConfig{Keys: s.YCSBKeys, ReadOps: 2, WriteOps: 2})
+	cfg := s.runCfg()
+	opts := basil.Options{F: 1, Shards: 1, BatchSize: 16}
+
+	local := NewBasil(gen, opts)
+	r := Run(local, gen, cfg)
+	local.Close()
+	t.Rows = append(t.Rows, []string{"Local", f1(r.Throughput), f2(r.MeanLatMs), f2(r.P99LatMs)})
+
+	tcp := NewBasilTCP(gen, opts)
+	r = Run(tcp, gen, cfg)
+	tcp.Close()
+	t.Rows = append(t.Rows, []string{"TCP loopback", f1(r.Throughput), f2(r.MeanLatMs), f2(r.P99LatMs)})
 	return t
 }
 

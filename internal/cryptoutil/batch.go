@@ -44,9 +44,16 @@ func NewBatchSigner(signer Signer, size int, maxDelay time.Duration) *BatchSigne
 }
 
 // Enqueue schedules payload for signing; done is invoked (on the flushing
-// goroutine) with the completed signature.
+// goroutine) with the completed signature. Enqueue after Close is a no-op
+// on both the direct and the batched path.
 func (b *BatchSigner) Enqueue(payload []byte, done func(types.Signature)) {
 	if b.size == 1 {
+		b.mu.Lock()
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return
+		}
 		sig := types.Signature{SignerID: b.signer.ID(), Direct: b.signer.Sign(payload)}
 		done(sig)
 		return

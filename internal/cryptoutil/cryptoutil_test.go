@@ -180,6 +180,24 @@ func TestBatchSizeOneIsDirect(t *testing.T) {
 	}
 }
 
+// TestBatchSignerClosedRejectsBoth: Enqueue after Close must be a no-op on
+// the size-1 direct path exactly like on the batched path (regression:
+// the fast path used to keep signing after Close).
+func TestBatchSignerClosedRejectsBoth(t *testing.T) {
+	reg := NewRegistry(SchemeEd25519, 1, 1)
+	for _, size := range []int{1, 4} {
+		bs := NewBatchSigner(reg.Signer(0), size, time.Millisecond)
+		bs.Close()
+		signed := make(chan struct{})
+		bs.Enqueue([]byte("late"), func(types.Signature) { close(signed) })
+		select {
+		case <-signed:
+			t.Fatalf("size=%d: Enqueue after Close still signed", size)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
 func TestSigVerifierRejectsWrongSigner(t *testing.T) {
 	reg := NewRegistry(SchemeEd25519, 2, 1)
 	bs := NewBatchSigner(reg.Signer(0), 1, time.Millisecond)

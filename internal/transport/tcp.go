@@ -1,9 +1,11 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,66 +13,125 @@ import (
 	"repro/internal/types"
 )
 
-// TCP is a gob-over-TCP implementation of Network for real multi-process
+// TCP is a framed-binary implementation of Network for real multi-process
 // deployments: each process runs one TCP listener serving all the nodes it
 // hosts, and an address book maps transport addresses to host:port pairs.
 //
-// Outbound connections are created lazily, cached, and serialized per
-// destination. Failures drop messages (the asynchronous network model);
-// protocols already tolerate loss.
+// Wire format: every connection carries a stream of frames, each a 4-byte
+// big-endian length followed by the sender address (9 bytes), the
+// destination address (9 bytes), and the message in the canonical tagged
+// encoding of internal/types — the same codec signature payloads are built
+// from, so nothing is serialized twice. Only protocol messages cross the
+// wire; arbitrary values are rejected at encode time and dropped.
+//
+// Each connection owns a writer goroutine feeding a buffered writer:
+// senders enqueue encoded frames (blocking when the queue is full, which
+// gives natural backpressure), and the writer coalesces whatever is queued
+// into one flush — flush happens on idle, not per message. Failed
+// connections are evicted everywhere they are referenced, including
+// reverse routes learned from inbound traffic, so a reconnecting peer is
+// never shadowed by a dead socket.
 type TCP struct {
 	book map[Addr]string // transport addr -> host:port
+	opts TCPOptions
 
 	mu       sync.Mutex
 	handlers map[Addr]Handler
-	conns    map[string]*tcpConn
+	conns    map[string]*tcpConn // dialed, by host:port
 	// reverse maps a remote node's transport address to the inbound
 	// connection its traffic arrives on, so replies reach nodes that are
 	// not in the address book (clients behind ephemeral ports).
 	reverse map[Addr]*tcpConn
-	inbound []net.Conn
+	live    map[*tcpConn]struct{} // every open connection, for Close
 	ln      net.Listener
 	closed  bool
 	wg      sync.WaitGroup
 }
 
+// TCPOptions tunes a TCP network. The zero value selects the defaults.
+type TCPOptions struct {
+	// MaxFrame caps a single wire frame, both sent (oversized sends are
+	// dropped) and received (oversized frames kill the connection). It
+	// must be identical on every node of a deployment: a frame one node
+	// is willing to send but another rejects causes a reconnect/resend
+	// loop. Certificates dominate frame size. Default 16 MiB.
+	MaxFrame int
+	// BufSize is the per-connection buffered reader/writer size.
+	// Default 64 KiB.
+	BufSize int
+	// Queue is the per-connection outbound frame queue length; senders
+	// block when it is full. Default 256.
+	Queue int
+	// DialTimeout bounds outbound connection attempts. Default 3s.
+	DialTimeout time.Duration
+}
+
+func (o *TCPOptions) withDefaults() {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = 16 << 20
+	}
+	if o.BufSize <= 0 {
+		o.BufSize = 64 << 10
+	}
+	if o.Queue <= 0 {
+		o.Queue = 256
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+}
+
+// tcpConn is one TCP connection (dialed or inbound) with its outbound
+// frame queue. The writer goroutine is the only writer on the socket.
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	c        net.Conn
+	hostport string // dial target; "" for inbound connections
+	out      chan []byte
+	closed   chan struct{}
+	once     sync.Once
 }
 
-// wireMsg is the on-the-wire envelope.
-type wireMsg struct {
-	From    Addr
-	To      Addr
-	Payload any
+// close makes the connection unusable; safe to call many times.
+func (c *tcpConn) close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.c.Close()
+	})
 }
 
-func init() {
-	// Register every protocol message for gob. Names are stable across
-	// binaries built from this module.
-	gob.Register(&types.ReadRequest{})
-	gob.Register(&types.ReadReply{})
-	gob.Register(&types.AbortRead{})
-	gob.Register(&types.ST1Request{})
-	gob.Register(&types.ST1Reply{})
-	gob.Register(&types.ST2Request{})
-	gob.Register(&types.ST2Reply{})
-	gob.Register(&types.WritebackRequest{})
-	gob.Register(&types.InvokeFB{})
-	gob.Register(&types.ElectFB{})
-	gob.Register(&types.DecFB{})
+// enqueue hands a frame to the writer goroutine, blocking while the queue
+// is full (backpressure). It reports false when the connection is dead.
+func (c *tcpConn) enqueue(frame []byte) bool {
+	select {
+	case <-c.closed:
+		return false
+	default:
+	}
+	select {
+	case c.out <- frame:
+		return true
+	case <-c.closed:
+		return false
+	}
 }
 
 // NewTCP creates a TCP network listening on listen (empty for client-only
-// processes that host no replicas) with the given address book.
+// processes that host no replicas) with the given address book and
+// default options.
 func NewTCP(listen string, book map[Addr]string) (*TCP, error) {
+	return NewTCPOpts(listen, book, TCPOptions{})
+}
+
+// NewTCPOpts is NewTCP with explicit tuning options.
+func NewTCPOpts(listen string, book map[Addr]string, opts TCPOptions) (*TCP, error) {
+	opts.withDefaults()
 	t := &TCP{
 		book:     book,
+		opts:     opts,
 		handlers: make(map[Addr]Handler),
 		conns:    make(map[string]*tcpConn),
 		reverse:  make(map[Addr]*tcpConn),
+		live:     make(map[*tcpConn]struct{}),
 	}
 	if listen != "" {
 		ln, err := net.Listen("tcp", listen)
@@ -102,42 +163,143 @@ func (t *TCP) SetRoute(a Addr, hostport string) {
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
 	for {
-		c, err := t.ln.Accept()
+		raw, err := t.ln.Accept()
 		if err != nil {
 			return
 		}
+		c, ok := t.adopt(raw, "")
+		if !ok {
+			raw.Close()
+			return
+		}
+		// learnReverse: inbound traffic teaches us how to reach peers
+		// that are not in the address book.
 		t.wg.Add(1)
-		go t.serveConn(c)
+		go t.readLoop(c, true)
 	}
 }
 
-func (t *TCP) serveConn(c net.Conn) {
-	defer t.wg.Done()
-	defer c.Close()
+// adopt registers a new connection, starts its writer goroutine, and
+// reports false when the network is already closed.
+func (t *TCP) adopt(raw net.Conn, hostport string) (*tcpConn, bool) {
+	c := &tcpConn{
+		c:        raw,
+		hostport: hostport,
+		out:      make(chan []byte, t.opts.Queue),
+		closed:   make(chan struct{}),
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return
+		return nil, false
 	}
-	t.inbound = append(t.inbound, c)
+	t.live[c] = struct{}{}
+	t.wg.Add(1)
 	t.mu.Unlock()
-	dec := gob.NewDecoder(c)
-	back := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	go t.writeLoop(c)
+	return c, true
+}
+
+// writeLoop is the connection's only socket writer. It batches every
+// frame already queued into one buffered write and flushes only when the
+// queue goes idle, coalescing bursts into few syscalls.
+func (t *TCP) writeLoop(c *tcpConn) {
+	defer t.wg.Done()
+	bw := bufio.NewWriterSize(c.c, t.opts.BufSize)
+	write := func(frame []byte) bool {
+		_, err := bw.Write(frame)
+		return err == nil
+	}
 	for {
-		var m wireMsg
-		if err := dec.Decode(&m); err != nil {
+		select {
+		case <-c.closed:
+			bw.Flush()
+			return
+		case frame := <-c.out:
+			if !write(frame) {
+				t.evict(c)
+				return
+			}
+		coalesce:
+			for {
+				select {
+				case more := <-c.out:
+					if !write(more) {
+						t.evict(c)
+						return
+					}
+				default:
+					break coalesce
+				}
+			}
+			if bw.Flush() != nil {
+				t.evict(c)
+				return
+			}
+		}
+	}
+}
+
+// readLoop decodes frames arriving on c and delivers them to local
+// handlers. With learnReverse set (inbound connections) it records the
+// sender's reverse route so replies to unbooked peers can be sent.
+func (t *TCP) readLoop(c *tcpConn, learnReverse bool) {
+	defer t.wg.Done()
+	defer t.evict(c)
+	br := bufio.NewReaderSize(c.c, t.opts.BufSize)
+	var lenbuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenbuf[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(lenbuf[:]))
+		if n < 2*addrWireSize || n > t.opts.MaxFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		from, ok1 := decodeAddr(frame)
+		to, ok2 := decodeAddr(frame[addrWireSize:])
+		if !ok1 || !ok2 {
+			return
+		}
+		msg, rest, err := types.DecodeMessage(frame[2*addrWireSize:])
+		if err != nil || len(rest) != 0 {
 			return
 		}
 		t.mu.Lock()
-		h := t.handlers[m.To]
-		if _, known := t.book[m.From]; !known {
-			t.reverse[m.From] = back
+		h := t.handlers[to]
+		if learnReverse {
+			if _, known := t.book[from]; !known {
+				t.reverse[from] = c
+			}
 		}
 		t.mu.Unlock()
 		if h != nil {
-			h.Deliver(m.From, m.Payload)
+			h.Deliver(from, msg)
 		}
 	}
+}
+
+// evict closes c and removes every reference to it: the dialed-connection
+// cache and any reverse routes learned from it. Reverse-route eviction is
+// what lets a reconnecting client be reached again — a dead inbound socket
+// must never shadow the live one.
+func (t *TCP) evict(c *tcpConn) {
+	t.mu.Lock()
+	if c.hostport != "" && t.conns[c.hostport] == c {
+		delete(t.conns, c.hostport)
+	}
+	for a, rc := range t.reverse {
+		if rc == c {
+			delete(t.reverse, a)
+		}
+	}
+	delete(t.live, c)
+	t.mu.Unlock()
+	c.close()
 }
 
 // Register implements Network. Unlike Local, delivery runs on the
@@ -150,7 +312,9 @@ func (t *TCP) Register(addr Addr, h Handler) {
 }
 
 // Send implements Network. Messages to locally registered handlers are
-// delivered directly; everything else is encoded onto a cached connection.
+// delivered directly; everything else is framed onto a cached connection.
+// Non-protocol values and unroutable destinations are dropped (the
+// asynchronous network model; protocols tolerate loss).
 func (t *TCP) Send(from, to Addr, msg any) {
 	t.mu.Lock()
 	if t.closed {
@@ -178,14 +342,57 @@ func (t *TCP) Send(from, to Addr, msg any) {
 			return
 		}
 	}
-	conn.mu.Lock()
-	err := conn.enc.Encode(wireMsg{From: from, To: to, Payload: msg})
-	conn.mu.Unlock()
-	if err != nil && hostport != "" {
-		t.dropConn(hostport, conn)
+	frame, err := encodeFrame(from, to, msg)
+	if err != nil {
+		return // not a protocol message: dropped
+	}
+	if len(frame)-4 > t.opts.MaxFrame {
+		// Drop sender-side: shipping an oversized frame would make the
+		// receiver kill the whole connection (and every in-flight frame
+		// on it), turning one huge certificate into a connect/kill loop.
+		return
+	}
+	if !conn.enqueue(frame) {
+		t.evict(conn)
 	}
 }
 
+// encodeFrame builds a length-prefixed wire frame.
+func encodeFrame(from, to Addr, msg any) ([]byte, error) {
+	b := make([]byte, 4, 192)
+	b = appendAddr(b, from)
+	b = appendAddr(b, to)
+	b, err := types.AppendMessage(b, msg)
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b, nil
+}
+
+// addrWireSize is the encoded size of an Addr: role byte + shard + index.
+const addrWireSize = 9
+
+func appendAddr(b []byte, a Addr) []byte {
+	b = append(b, byte(a.Role))
+	b = binary.BigEndian.AppendUint32(b, uint32(a.Shard))
+	return binary.BigEndian.AppendUint32(b, uint32(a.Index))
+}
+
+func decodeAddr(b []byte) (Addr, bool) {
+	if len(b) < addrWireSize {
+		return Addr{}, false
+	}
+	return Addr{
+		Role:  Role(b[0]),
+		Shard: int32(binary.BigEndian.Uint32(b[1:5])),
+		Index: int32(binary.BigEndian.Uint32(b[5:9])),
+	}, true
+}
+
+// conn returns the cached dialed connection for hostport, dialing if
+// needed. Replies may come back on the same socket (reverse routing on
+// the peer), so a read loop is started for it too.
 func (t *TCP) conn(hostport string) (*tcpConn, error) {
 	t.mu.Lock()
 	if c := t.conns[hostport]; c != nil {
@@ -193,58 +400,41 @@ func (t *TCP) conn(hostport string) (*tcpConn, error) {
 		return c, nil
 	}
 	t.mu.Unlock()
-	raw, err := net.DialTimeout("tcp", hostport, 3*time.Second)
+	raw, err := net.DialTimeout("tcp", hostport, t.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
 	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		raw.Close()
-		return nil, errors.New("transport: closed")
-	}
 	if prev := t.conns[hostport]; prev != nil {
 		t.mu.Unlock()
 		raw.Close()
 		return prev, nil
 	}
+	t.mu.Unlock()
+	c, ok := t.adopt(raw, hostport)
+	if !ok {
+		raw.Close()
+		return nil, errors.New("transport: closed")
+	}
+	t.mu.Lock()
+	// Re-check closed: Close may have completed while we were dialing, and
+	// wg.Add after its Wait (or repopulating the reset conns map) would
+	// leak a goroutine past Close.
+	if t.closed {
+		t.mu.Unlock()
+		t.evict(c)
+		return nil, errors.New("transport: closed")
+	}
+	if prev := t.conns[hostport]; prev != nil {
+		t.mu.Unlock()
+		t.evict(c)
+		return prev, nil
+	}
 	t.conns[hostport] = c
 	t.wg.Add(1)
 	t.mu.Unlock()
-	// Replies may come back on this same socket (reverse routing on the
-	// peer); read them.
-	go t.readOutbound(hostport, c)
+	go t.readLoop(c, false)
 	return c, nil
-}
-
-// readOutbound decodes messages arriving on a dialed connection and
-// delivers them to local handlers.
-func (t *TCP) readOutbound(hostport string, c *tcpConn) {
-	defer t.wg.Done()
-	dec := gob.NewDecoder(c.c)
-	for {
-		var m wireMsg
-		if err := dec.Decode(&m); err != nil {
-			t.dropConn(hostport, c)
-			return
-		}
-		t.mu.Lock()
-		h := t.handlers[m.To]
-		t.mu.Unlock()
-		if h != nil {
-			h.Deliver(m.From, m.Payload)
-		}
-	}
-}
-
-func (t *TCP) dropConn(hostport string, c *tcpConn) {
-	t.mu.Lock()
-	if t.conns[hostport] == c {
-		delete(t.conns, hostport)
-	}
-	t.mu.Unlock()
-	c.c.Close()
 }
 
 // Close implements Network.
@@ -254,14 +444,12 @@ func (t *TCP) Close() {
 	if t.ln != nil {
 		t.ln.Close()
 	}
-	for _, c := range t.conns {
-		c.c.Close()
-	}
-	for _, c := range t.inbound {
-		c.Close()
+	for c := range t.live {
+		c.close()
 	}
 	t.conns = make(map[string]*tcpConn)
-	t.inbound = nil
+	t.reverse = make(map[Addr]*tcpConn)
+	t.live = make(map[*tcpConn]struct{})
 	t.mu.Unlock()
 	t.wg.Wait()
 }

@@ -77,3 +77,159 @@ func TestTCPUnknownDestinationDropped(t *testing.T) {
 	defer n.Close()
 	n.Send(ClientAddr(1), ClientAddr(99), "void") // must not panic
 }
+
+// TestTCPClientReconnectEvictsReverseRoute is the regression test for the
+// dead-reverse-route leak: when an inbound connection dies, the server
+// must drop the reverse routes learned from it so a reconnecting client
+// (new connection, same transport address) receives replies again instead
+// of having them written to a dead socket forever.
+func TestTCPClientReconnectEvictsReverseRoute(t *testing.T) {
+	book := map[Addr]string{}
+	srv, err := NewTCP("127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	replicaAddr := ReplicaAddr(0, 0)
+	clientAddr := ClientAddr(7) // never in the book: reachable only via reverse routes
+	book[replicaAddr] = srv.ListenAddr()
+	srv.Register(replicaAddr, HandlerFunc(func(from Addr, msg any) {
+		srv.Send(replicaAddr, from, msg) // echo
+	}))
+
+	roundTrip := func(cli *TCP, reqID uint64) {
+		t.Helper()
+		got := make(chan uint64, 1)
+		cli.Register(clientAddr, HandlerFunc(func(from Addr, msg any) {
+			if rr, ok := msg.(*types.ReadRequest); ok {
+				got <- rr.ReqID
+			}
+		}))
+		cli.Send(clientAddr, replicaAddr, &types.ReadRequest{ReqID: reqID, Key: "k"})
+		select {
+		case id := <-got:
+			if id != reqID {
+				t.Fatalf("echo %d, want %d", id, reqID)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("no echo for request %d", reqID)
+		}
+	}
+
+	cli1, err := NewTCP("", map[Addr]string{replicaAddr: srv.ListenAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(cli1, 1)
+	cli1.Close() // client goes away; server's reverse route is now dead
+
+	// The server must evict the dead reverse route once the inbound
+	// connection's read loop observes the close.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		srv.mu.Lock()
+		_, stale := srv.reverse[clientAddr]
+		srv.mu.Unlock()
+		if !stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead reverse route never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Same transport address, brand-new connection: replies must arrive.
+	cli2, err := NewTCP("", map[Addr]string{replicaAddr: srv.ListenAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	roundTrip(cli2, 2)
+}
+
+// TestTCPNonProtocolMessageDropped: only protocol messages can cross the
+// wire; arbitrary values are dropped at encode time without killing the
+// connection.
+func TestTCPNonProtocolMessageDropped(t *testing.T) {
+	book := map[Addr]string{}
+	srv, err := NewTCP("127.0.0.1:0", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dst := ReplicaAddr(0, 0)
+	book[dst] = srv.ListenAddr()
+	got := make(chan any, 2)
+	srv.Register(dst, HandlerFunc(func(from Addr, msg any) { got <- msg }))
+
+	cli, err := NewTCP("", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Send(ClientAddr(1), dst, "not-a-protocol-message") // dropped
+	cli.Send(ClientAddr(1), dst, &types.ReadRequest{ReqID: 9})
+	select {
+	case m := <-got:
+		rr, ok := m.(*types.ReadRequest)
+		if !ok || rr.ReqID != 9 {
+			t.Fatalf("got %#v", m)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("protocol message after dropped value never arrived")
+	}
+}
+
+// BenchmarkTCPTransport measures one-way message rate over a real loopback
+// socket pair with the framed canonical codec — the number to compare
+// against the previous gob wire format (see BenchmarkWireCodec in
+// internal/types for the codec-only comparison).
+func BenchmarkTCPTransport(b *testing.B) {
+	book := map[Addr]string{}
+	srv, err := NewTCP("127.0.0.1:0", book)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	dst := ReplicaAddr(0, 0)
+	book[dst] = srv.ListenAddr()
+
+	done := make(chan struct{})
+	var got int
+	srv.Register(dst, HandlerFunc(func(from Addr, msg any) {
+		got++
+		if got == b.N {
+			close(done)
+		}
+	}))
+
+	cli, err := NewTCP("", book)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	src := ClientAddr(1)
+	msg := &types.ST1Request{
+		ReqID: 1, ClientID: 2,
+		Meta: &types.TxMeta{
+			Timestamp: types.Timestamp{Time: 77, ClientID: 2},
+			ReadSet:   []types.ReadEntry{{Key: "alpha", Version: types.Timestamp{Time: 3}}},
+			WriteSet:  []types.WriteEntry{{Key: "beta", Value: make([]byte, 128)}},
+			Shards:    []int32{0},
+		},
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cli.Send(src, dst, msg)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		b.Fatalf("received %d/%d messages", got, b.N)
+	}
+	b.StopTimer()
+}

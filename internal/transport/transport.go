@@ -2,8 +2,10 @@
 //
 // Two implementations are provided: an in-process Local network (channels,
 // with injectable per-link latency, drops and partitions) used by tests,
-// examples and the benchmark harness, and a TCP+gob network for real
-// multi-process deployments. Both deliver messages to a node's Handler in
+// examples and the benchmark harness, and a TCP network for real
+// multi-process deployments that frames the canonical binary codec of
+// internal/types onto buffered connections (see tcp.go for the wire
+// format). Both deliver messages to a node's Handler in
 // FIFO order per sender with no cross-sender ordering guarantee, matching
 // an asynchronous network.
 package transport

@@ -1,0 +1,317 @@
+package types
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// wireRand builds pseudo-random but deterministic protocol values so the
+// round-trip tests cover populated optional fields, nested certificates
+// and batched signatures.
+type wireRand struct{ r *rand.Rand }
+
+func newWireRand(seed int64) *wireRand {
+	return &wireRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (w *wireRand) bytes(n int) []byte {
+	b := make([]byte, 1+w.r.Intn(n))
+	w.r.Read(b)
+	return b
+}
+
+func (w *wireRand) txid() TxID {
+	var id TxID
+	w.r.Read(id[:])
+	return id
+}
+
+func (w *wireRand) hash() [32]byte { return [32]byte(w.txid()) }
+
+func (w *wireRand) ts() Timestamp {
+	return Timestamp{Time: w.r.Uint64(), ClientID: w.r.Uint64()}
+}
+
+func (w *wireRand) sig(batched bool) Signature {
+	s := Signature{SignerID: int32(w.r.Intn(64))}
+	if !batched {
+		s.Direct = w.bytes(64)
+		return s
+	}
+	s.Root = w.hash()
+	s.RootSig = w.bytes(64)
+	s.Proof = [][32]byte{w.hash(), w.hash()}
+	s.Index = w.r.Uint32()
+	return s
+}
+
+func (w *wireRand) meta() *TxMeta {
+	return &TxMeta{
+		Timestamp: w.ts(),
+		ReadSet:   []ReadEntry{{Key: "k1", Version: w.ts()}, {Key: "k2", Version: w.ts()}},
+		WriteSet:  []WriteEntry{{Key: "k3", Value: w.bytes(32)}},
+		Deps:      []Dependency{{TxID: w.txid(), Version: w.ts()}},
+		Shards:    []int32{0, int32(w.r.Intn(8))},
+	}
+}
+
+func (w *wireRand) st1Reply() ST1Reply {
+	return ST1Reply{
+		ReqID: w.r.Uint64(), TxID: w.txid(),
+		ShardID: int32(w.r.Intn(8)), ReplicaID: int32(w.r.Intn(6)),
+		Vote: VoteCommit, BlockedBy: w.meta(), Sig: w.sig(true),
+	}
+}
+
+func (w *wireRand) st2Reply() ST2Reply {
+	return ST2Reply{
+		ReqID: w.r.Uint64(), TxID: w.txid(),
+		ShardID: int32(w.r.Intn(8)), ReplicaID: int32(w.r.Intn(6)),
+		Decision: DecisionCommit, ViewDecision: w.r.Uint64() % 4,
+		ViewCurrent: w.r.Uint64() % 4, Sig: w.sig(false),
+	}
+}
+
+func (w *wireRand) cert() *DecisionCert {
+	return &DecisionCert{
+		TxID: w.txid(), Decision: DecisionCommit,
+		Shards: []ShardCert{{
+			ShardID: 1, Kind: CertST1Fast, Vote: VoteCommit,
+			ST1Rs: []ST1Reply{w.st1Reply()},
+		}, {
+			ShardID: 2, Kind: CertST2Logged, Vote: VoteCommit,
+			ST2Rs: []ST2Reply{w.st2Reply(), w.st2Reply()},
+		}},
+	}
+}
+
+func (w *wireRand) tally() VoteTally {
+	return VoteTally{
+		TxID: w.txid(), ShardID: 3, Vote: VoteAbort,
+		Replies:  []ST1Reply{w.st1Reply(), w.st1Reply()},
+		Conflict: w.cert(), ConflictMeta: w.meta(),
+	}
+}
+
+// wireMessages returns one populated instance of every protocol message.
+func wireMessages(seed int64) []any {
+	w := newWireRand(seed)
+	st1r := w.st1Reply()
+	st1r.Conflict = w.cert()
+	st1r.ConflictMeta = w.meta()
+	st1r.RPKind = RPDecision
+	st1r.Decision = DecisionCommit
+	st2r := w.st2Reply()
+	st1r.ST2R = &st2r
+	st1r.Cert = w.cert()
+	st1r.CertMeta = w.meta()
+	return []any{
+		&ReadRequest{ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), Key: "balance", Ts: w.ts()},
+		&ReadReply{
+			ReqID: w.r.Uint64(), Key: "balance", ShardID: 2, ReplicaID: 4,
+			Committed: &CommittedRead{Value: w.bytes(64), WriterMeta: w.meta(), Cert: w.cert()},
+			Prepared:  &PreparedRead{Value: w.bytes(64), WriterMeta: w.meta()},
+			Sig:       w.sig(true),
+		},
+		&AbortRead{ClientID: w.r.Uint64(), Ts: w.ts(), Keys: []string{"a", "b", "c"}},
+		&ST1Request{ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), Meta: w.meta(), Recovery: true},
+		&st1r,
+		&ST2Request{
+			ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), TxID: w.txid(),
+			Meta: w.meta(), Decision: DecisionCommit,
+			Tallies: []VoteTally{w.tally(), w.tally()}, View: 3,
+		},
+		&st2r,
+		&WritebackRequest{
+			ClientID: w.r.Uint64(), TxID: w.txid(), Decision: DecisionAbort,
+			Cert: w.cert(), Meta: w.meta(),
+		},
+		&InvokeFB{
+			ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), TxID: w.txid(),
+			Meta: w.meta(), ST2Rs: []ST2Reply{w.st2Reply()},
+			Decision: DecisionCommit, Tallies: []VoteTally{w.tally()},
+		},
+		&ElectFB{TxID: w.txid(), ShardID: 1, ReplicaID: 2, Decision: DecisionCommit,
+			View: 2, Sig: w.sig(false)},
+		&DecFB{TxID: w.txid(), ShardID: 1, LeaderID: 3, Decision: DecisionAbort,
+			View: 2, Elects: []ElectFB{
+				{TxID: w.txid(), ShardID: 1, ReplicaID: 0, View: 2, Sig: w.sig(false)},
+				{TxID: w.txid(), ShardID: 1, ReplicaID: 4, View: 2, Sig: w.sig(true)},
+			}, Sig: w.sig(false)},
+	}
+}
+
+// TestWireRoundTripAllMessages encodes every protocol message, decodes it,
+// and re-encodes the result: a canonical codec must reproduce the exact
+// original bytes, which also proves field-level equality.
+func TestWireRoundTripAllMessages(t *testing.T) {
+	msgs := wireMessages(7)
+	if len(msgs) != 11 {
+		t.Fatalf("expected all 11 protocol messages, have %d", len(msgs))
+	}
+	for _, msg := range msgs {
+		enc, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		dec, rest, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%T: %d trailing bytes after decode", msg, len(rest))
+		}
+		re, err := EncodeMessage(dec)
+		if err != nil {
+			t.Fatalf("%T: re-encode: %v", msg, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("%T: decode(encode(m)) re-encodes differently\n  enc %x\n  re  %x", msg, enc, re)
+		}
+	}
+}
+
+// TestWireRoundTripSparseMessages covers the all-optionals-nil shapes.
+func TestWireRoundTripSparseMessages(t *testing.T) {
+	for _, msg := range []any{
+		&ReadReply{ReqID: 1, Key: "k", ShardID: 0, ReplicaID: 1},
+		&ST1Request{ReqID: 2, ClientID: 3},
+		&ST1Reply{ReqID: 4, Vote: VoteAbort},
+		&ST2Request{ReqID: 5, ClientID: 6, Decision: DecisionAbort},
+		&WritebackRequest{ClientID: 7, Decision: DecisionCommit},
+		&InvokeFB{ReqID: 8, ClientID: 9},
+		&DecFB{View: 1},
+		&AbortRead{ClientID: 10},
+	} {
+		enc, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		dec, rest, err := DecodeMessage(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%T: decode: %v (rest %d)", msg, err, len(rest))
+		}
+		re, _ := EncodeMessage(dec)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("%T: sparse round trip mismatch", msg)
+		}
+	}
+}
+
+func TestWireDecodeFieldFidelity(t *testing.T) {
+	in := &ReadRequest{ReqID: 42, ClientID: 99, Key: "k", Ts: Timestamp{Time: 7, ClientID: 99}}
+	enc, _ := EncodeMessage(in)
+	dec, _, err := DecodeMessage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := dec.(*ReadRequest)
+	if !ok {
+		t.Fatalf("decoded %T", dec)
+	}
+	if *out != *in {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestWireRejectsUnknownAndTruncated(t *testing.T) {
+	if _, err := EncodeMessage("not a protocol message"); err == nil {
+		t.Fatal("encoded a non-protocol value")
+	}
+	if _, _, err := DecodeMessage(nil); err == nil {
+		t.Fatal("decoded empty input")
+	}
+	if _, _, err := DecodeMessage([]byte{0xEE}); err == nil {
+		t.Fatal("decoded unknown tag")
+	}
+	enc, _ := EncodeMessage(wireMessages(3)[1]) // ReadReply, deeply nested
+	for _, cut := range []int{1, 2, len(enc) / 2, len(enc) - 1} {
+		if _, _, err := DecodeMessage(enc[:cut]); err == nil {
+			t.Fatalf("decoded truncated input (cut %d)", cut)
+		}
+	}
+}
+
+// TestWireDecodeDepthBounded feeds a frame whose certificate nesting
+// exceeds maxWireDepth and expects ErrWireNesting instead of a stack
+// overflow.
+func TestWireDecodeDepthBounded(t *testing.T) {
+	// Build an ST1Reply whose Conflict cert holds an ST1Reply whose
+	// Conflict cert holds ... deeper than the decoder allows.
+	inner := ST1Reply{Vote: VoteAbort}
+	for i := 0; i < maxWireDepth+2; i++ {
+		inner = ST1Reply{
+			Vote: VoteAbort,
+			Conflict: &DecisionCert{Decision: DecisionAbort, Shards: []ShardCert{
+				{Kind: CertConflict, Vote: VoteAbort, ST1Rs: []ST1Reply{inner}},
+			}},
+		}
+	}
+	enc, err := EncodeMessage(&inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = DecodeMessage(enc)
+	if err != ErrWireNesting {
+		t.Fatalf("want ErrWireNesting, got %v", err)
+	}
+}
+
+// BenchmarkWireCodec measures the canonical wire codec against gob (the
+// transport's previous wire format) on a representative ST2Request — the
+// serialization pass the new framed transport removed.
+func BenchmarkWireCodec(b *testing.B) {
+	w := newWireRand(11)
+	msg := &ST2Request{
+		ReqID: 1, ClientID: 2, TxID: w.txid(), Meta: w.meta(),
+		Decision: DecisionCommit, Tallies: []VoteTally{w.tally()}, View: 0,
+	}
+	b.Run("canonical/encode", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 4096)
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			var err error
+			buf, err = AppendMessage(buf, msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	enc, _ := EncodeMessage(msg)
+	b.Run("canonical/decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeMessage(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob/encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := enc.Encode(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob/decode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		for i := 0; i < b.N; i++ {
+			var out ST2Request
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
