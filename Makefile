@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test test-race race bench
 
-check: fmt vet build test
+check: fmt vet build test test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,6 +20,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Transport concurrency (writer goroutines, background dialing, SendAll
+# body sharing) and client reply collection must stay race-clean; this
+# runs as part of `make check` so regressions are caught locally.
+test-race:
+	$(GO) test -race ./internal/transport/ ./internal/client/
 
 # The transport and codec tests are required to pass under the race
 # detector (per-connection writer goroutines, reverse-route eviction).

@@ -101,6 +101,8 @@ func main() {
 		any = true
 		t := benchharness.FigWire(scale)
 		t.Render(out)
+		bt := benchharness.FigBroadcast(scale)
+		bt.Render(out)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/types"
 
 	"repro/basil"
 	"repro/internal/client"
@@ -401,6 +403,95 @@ func FigWire(s Scale) Table {
 	r = Run(tcp, gen, cfg)
 	tcp.Close()
 	t.Rows = append(t.Rows, []string{"TCP loopback", f1(r.Throughput), f2(r.MeanLatMs), f2(r.P99LatMs)})
+	return t
+}
+
+// FigBroadcast is the companion microbenchmark to FigWire: it fans one
+// representative ST1 request out to a full shard (n=6, f=1) over real
+// loopback TCP sockets, comparing the legacy loop of per-destination
+// Sends (one body encode per replica) against the encode-once SendAll
+// broadcast primitive. The delta is the serialization CPU that every
+// ST1/ST2/writeback/abort broadcast used to burn n times.
+func FigBroadcast(s Scale) Table {
+	t := Table{Title: "Shard broadcast: per-destination Send vs encode-once SendAll (TCP loopback, n=6)",
+		Header: []string{"broadcast path", "us/broadcast", "body encodes"}}
+	const fan = 6
+	// Aim each run at roughly the scale's measurement window (a broadcast
+	// is a few µs end to end), clamped to keep quick runs meaningful.
+	rounds := int64(s.Measure / (50 * time.Microsecond))
+	if rounds < 5_000 {
+		rounds = 5_000
+	}
+	if rounds > 100_000 {
+		rounds = 100_000
+	}
+	msg := &types.ST1Request{
+		ReqID: 1, ClientID: 2,
+		Meta: &types.TxMeta{
+			Timestamp: types.Timestamp{Time: 77, ClientID: 2},
+			ReadSet:   []types.ReadEntry{{Key: "alpha", Version: types.Timestamp{Time: 3}}},
+			WriteSet:  []types.WriteEntry{{Key: "beta", Value: make([]byte, 128)}},
+			Shards:    []int32{0},
+		},
+	}
+	run := func(sendAll bool) float64 {
+		book := map[transport.Addr]string{}
+		srv, err := transport.NewTCP("127.0.0.1:0", book)
+		if err != nil {
+			panic(fmt.Sprintf("benchharness: broadcast bench listen: %v", err))
+		}
+		defer srv.Close()
+		var got atomic.Int64
+		total := rounds*fan + 1 // +1 for the priming message
+		done := make(chan struct{})
+		tos := make([]transport.Addr, fan)
+		for i := range tos {
+			tos[i] = transport.ReplicaAddr(0, int32(i))
+			book[tos[i]] = srv.ListenAddr()
+			srv.Register(tos[i], transport.HandlerFunc(func(transport.Addr, any) {
+				if got.Add(1) == total {
+					close(done)
+				}
+			}))
+		}
+		cli, err := transport.NewTCP("", book)
+		if err != nil {
+			panic(fmt.Sprintf("benchharness: broadcast bench dial: %v", err))
+		}
+		defer cli.Close()
+		src := transport.ClientAddr(1)
+		// Prime the connection: frames bursting onto a still-dialing
+		// connection drop once its queue fills (fail-fast by design), so
+		// measure the steady state, not the dial window.
+		cli.Send(src, tos[0], msg)
+		for waited := 0; got.Load() == 0; waited++ {
+			if waited > 10_000 {
+				panic("benchharness: broadcast bench: priming message never arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		start := time.Now()
+		for i := int64(0); i < rounds; i++ {
+			if sendAll {
+				cli.SendAll(src, tos, msg)
+			} else {
+				for _, to := range tos {
+					cli.Send(src, to, msg)
+				}
+			}
+		}
+		// The transport is allowed to drop frames (async network model);
+		// a lost delivery must degrade the number, not hang the harness.
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			fmt.Printf("benchharness: broadcast bench timed out at %d/%d deliveries\n",
+				got.Load(), rounds*fan)
+		}
+		return float64(time.Since(start).Microseconds()) / float64(rounds)
+	}
+	t.Rows = append(t.Rows, []string{"Send x n", f2(run(false)), fmt.Sprintf("%d", fan)})
+	t.Rows = append(t.Rows, []string{"SendAll", f2(run(true)), "1"})
 	return t
 }
 

@@ -188,12 +188,7 @@ func (c *Client) endRequest(id uint64) {
 
 // replicasOf enumerates shard s's replica addresses.
 func (c *Client) replicasOf(s int32) []transport.Addr {
-	n := c.qc.N()
-	out := make([]transport.Addr, n)
-	for i := 0; i < n; i++ {
-		out[i] = transport.ReplicaAddr(s, int32(i))
-	}
-	return out
+	return transport.ShardAddrs(s, c.qc.N())
 }
 
 // send transmits msg to one replica.
@@ -201,11 +196,10 @@ func (c *Client) send(to transport.Addr, msg any) {
 	c.cfg.Net.Send(c.addr, to, msg)
 }
 
-// broadcastShard sends msg to every replica of shard s.
+// broadcastShard sends msg to every replica of shard s, encoding the
+// body once on wire transports.
 func (c *Client) broadcastShard(s int32, msg any) {
-	for _, a := range c.replicasOf(s) {
-		c.send(a, msg)
-	}
+	c.cfg.Net.SendAll(c.addr, c.replicasOf(s), msg)
 }
 
 // now returns the client's current timestamp time component.

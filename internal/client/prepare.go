@@ -342,7 +342,7 @@ func (c *Client) logDecision(meta *types.TxMeta, id types.TxID, res prepareResul
 		Decision: res.decision, Tallies: tallies, View: view,
 	}
 	c.broadcastShard(meta.LogShard(), st2)
-	st2rs, err := c.collectST2(id, res.decision, ch)
+	st2rs, err := c.collectST2(id, meta.LogShard(), res.decision, ch)
 	if err != nil {
 		return nil, err
 	}
@@ -358,11 +358,14 @@ func (c *Client) logDecision(meta *types.TxMeta, id types.TxID, res prepareResul
 	}, nil
 }
 
-// collectST2 waits for n-f ST2 acknowledgements matching the expected
-// decision (and a single decision view). A mismatching ST2R means another
-// client (or an equivocator) raced us: surface an error so the caller
-// falls back to recovery.
-func (c *Client) collectST2(id types.TxID, want types.Decision, ch chan any) ([]types.ST2Reply, error) {
+// collectST2 waits for n-f ST2 acknowledgements from the logging shard
+// matching the expected decision (and a single decision view). A
+// mismatching ST2R means another client (or an equivocator) raced us:
+// surface an error so the caller falls back to recovery. Replies from any
+// shard but logShard are rejected — signatures bind a reply to its own
+// shard's replica, not to the shard this request logged on (same
+// cross-shard confusion as the read path).
+func (c *Client) collectST2(id types.TxID, logShard int32, want types.Decision, ch chan any) ([]types.ST2Reply, error) {
 	byKey := make(map[uint64][]types.ST2Reply) // viewDecision -> replies
 	seen := make(map[int32]bool)
 	mismatch := false
@@ -377,7 +380,7 @@ func (c *Client) collectST2(id types.TxID, want types.Decision, ch chan any) ([]
 				// RPCert replies are handled by recovery paths.
 				continue
 			}
-			if r.TxID != id || seen[r.ReplicaID] {
+			if r.TxID != id || r.ShardID != logShard || seen[r.ReplicaID] {
 				continue
 			}
 			if c.qv.VerifyST2Reply(r, id) != nil {

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// readHarness wires a real Client to scripted replica handlers over a
+// Local transport, so tests can inject byte-exact (and validly signed)
+// replies that a cluster of correct replicas would never produce.
+type readHarness struct {
+	net      *transport.Local
+	reg      *cryptoutil.Registry
+	signerOf func(shard, replica int32) int32
+	cli      *Client
+}
+
+const harnessN = 6 // f=1 => n=5f+1
+
+// newReadHarness registers harnessN scripted shard-0 replicas and builds a
+// client over them. onRead runs on each replica's dispatch goroutine.
+func newReadHarness(t *testing.T, clk clock.Clock, readWait int,
+	onRead func(h *readHarness, replica int32, from transport.Addr, req *types.ReadRequest)) *readHarness {
+	t.Helper()
+	h := &readHarness{
+		net: transport.NewLocal(),
+		// Two shards' worth of keys: shard 1's replicas have real,
+		// verifiable identities even though requests only target shard 0.
+		reg:      cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, 2*harnessN, 1),
+		signerOf: func(shard, replica int32) int32 { return shard*harnessN + replica },
+	}
+	t.Cleanup(h.net.Close)
+	for i := int32(0); i < harnessN; i++ {
+		i := i
+		h.net.Register(transport.ReplicaAddr(0, i), transport.HandlerFunc(func(from transport.Addr, msg any) {
+			if req, ok := msg.(*types.ReadRequest); ok {
+				onRead(h, i, from, req)
+			}
+		}))
+	}
+	h.cli = New(Config{
+		ID: 1, F: 1, NumShards: 2,
+		ShardOf:      func(string) int32 { return 0 },
+		Clock:        clk,
+		Registry:     h.reg,
+		SignerOf:     h.signerOf,
+		Net:          h.net,
+		ReadWait:     readWait,
+		PhaseTimeout: 25 * time.Millisecond,
+	})
+	return h
+}
+
+// sign attaches a direct signature from (shard, replica)'s real key.
+func (h *readHarness) sign(shard, replica int32, rr *types.ReadReply) {
+	id := h.signerOf(shard, replica)
+	rr.Sig = types.Signature{SignerID: id, Direct: h.reg.Signer(id).Sign(rr.Payload())}
+}
+
+// TestReadRejectsCrossShardReply is the regression test for cross-shard
+// read confusion: a reply correctly signed by a same-index replica of a
+// *different* shard must not count toward the read quorum, even though
+// its signature verifies under SignerOf(the reply's own ShardID,
+// ReplicaID). Before the fix every scripted reply below counted as a
+// genesis vote and the read returned the forged value.
+func TestReadRejectsCrossShardReply(t *testing.T) {
+	evil := []byte("cross-shard-forgery")
+	h := newReadHarness(t, clock.NewManual(2000), 0, /* default ReadWait f+1 */
+		func(h *readHarness, replica int32, from transport.Addr, req *types.ReadRequest) {
+			// The replica answers the shard-0 read with a reply claiming to
+			// be from shard 1, signed with shard 1's matching replica key —
+			// exactly what a Byzantine shard-1 replica could emit.
+			rr := &types.ReadReply{
+				ReqID: req.ReqID, Key: req.Key,
+				ShardID: 1, ReplicaID: replica,
+				Committed: &types.CommittedRead{Value: evil}, // "genesis" value
+			}
+			h.sign(1, replica, rr)
+			h.net.Send(transport.ReplicaAddr(0, replica), from, rr)
+		})
+
+	tx := h.cli.Begin()
+	val, err := tx.Read("k")
+	if err == nil && bytes.Equal(val, evil) {
+		t.Fatal("cross-shard reply counted toward the read quorum: forged value returned")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("read ended with (%q, %v), want ErrTimeout once all replies are rejected", val, err)
+	}
+}
+
+// TestRepeatReadReturnsCachedValue is the repeatable-reads regression
+// test: two Read(key) calls in one transaction must return identical
+// bytes even when a version newer than the recorded one commits between
+// them. Before the fix the second read re-contacted replicas and returned
+// the newer value, while ST1 still validated the version recorded by the
+// first read.
+func TestRepeatReadReturnsCachedValue(t *testing.T) {
+	v0 := []byte("original")
+	v1 := []byte("advanced")
+	served := make([]int, harnessN)                  // per-replica request count; each touched only by its own dispatch goroutine
+	h := newReadHarness(t, clock.NewManual(2000), 1, /* Fig. 5b "one read": no cross-validation */
+		func(h *readHarness, replica int32, from transport.Addr, req *types.ReadRequest) {
+			rr := &types.ReadReply{
+				ReqID: req.ReqID, Key: req.Key,
+				ShardID: 0, ReplicaID: replica,
+			}
+			if served[replica] == 0 {
+				// First contact: the key is still at its genesis value.
+				rr.Committed = &types.CommittedRead{Value: v0}
+			} else {
+				// A committer advanced the key to version 1500 — still below
+				// the transaction's timestamp 2000, so a re-read would
+				// legitimately pick it.
+				rr.Committed = &types.CommittedRead{
+					Value: v1,
+					WriterMeta: &types.TxMeta{
+						Timestamp: types.Timestamp{Time: 1500, ClientID: 9},
+						WriteSet:  []types.WriteEntry{{Key: req.Key, Value: v1}},
+					},
+					Cert: &types.DecisionCert{Decision: types.DecisionCommit},
+				}
+			}
+			served[replica]++
+			h.sign(0, replica, rr)
+			h.net.Send(transport.ReplicaAddr(0, replica), from, rr)
+		})
+
+	tx := h.cli.Begin()
+	first, err := tx.Read("k")
+	if err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if !bytes.Equal(first, v0) {
+		t.Fatalf("first read returned %q, want %q", first, v0)
+	}
+	second, err := tx.Read("k")
+	if err != nil {
+		t.Fatalf("second read: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat read diverged: first %q, second %q", first, second)
+	}
+	if len(tx.reads) != 1 || tx.reads[0].Version.Time != 0 {
+		t.Fatalf("read set changed by repeat read: %+v", tx.reads)
+	}
+}

@@ -147,7 +147,12 @@ func (c *Client) collectRecovery(id types.TxID, meta *types.TxMeta, ch chan any,
 						return r.Cert.Decision, r.Cert, true
 					}
 				case types.RPDecision:
-					if r.ST2R != nil && c.qv.VerifyST2Reply(r.ST2R, id) == nil {
+					// Logged decisions are meaningful only from the logging
+					// shard; a signed ST2R from another shard's replica must
+					// not enter the view/quorum bookkeeping (cross-shard
+					// confusion, as on the read path).
+					if r.ST2R != nil && r.ST2R.ShardID == meta.LogShard() &&
+						c.qv.VerifyST2Reply(r.ST2R, id) == nil {
 						c.noteST2R(*r.ST2R, st2rs, matching, decisionsSeen)
 						if len(decisionsSeen) > 1 {
 							*divergent = true
@@ -160,7 +165,7 @@ func (c *Client) collectRecovery(id types.TxID, meta *types.TxMeta, ch chan any,
 					c.acceptST1Reply(id, tallies, r)
 				}
 			case *types.ST2Reply:
-				if c.qv.VerifyST2Reply(r, id) == nil {
+				if r.ShardID == meta.LogShard() && c.qv.VerifyST2Reply(r, id) == nil {
 					c.noteST2R(*r, st2rs, matching, decisionsSeen)
 					if len(decisionsSeen) > 1 {
 						*divergent = true
@@ -232,7 +237,7 @@ func (c *Client) collectFallback(id types.TxID, meta *types.TxMeta, ch chan any,
 				}
 				continue
 			}
-			if r.TxID != id || c.qv.VerifyST2Reply(r, id) != nil {
+			if r.TxID != id || r.ShardID != meta.LogShard() || c.qv.VerifyST2Reply(r, id) != nil {
 				continue
 			}
 			if prev, ok := st2rs[r.ReplicaID]; !ok || prev.ViewCurrent < r.ViewCurrent {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -13,8 +14,12 @@ type Txn struct {
 	c  *Client
 	ts types.Timestamp
 
-	reads      []types.ReadEntry
-	readKeys   map[string]bool
+	reads    []types.ReadEntry
+	readKeys map[string]bool
+	// readVals caches the value chosen for each read key so repeat reads
+	// return exactly the bytes whose version is in the read set — never a
+	// newer version committed between the two reads.
+	readVals   map[string][]byte
 	writes     map[string][]byte
 	writeOrder []string
 	deps       map[types.TxID]types.Dependency
@@ -30,6 +35,7 @@ func (c *Client) Begin() *Txn {
 		c:        c,
 		ts:       types.Timestamp{Time: c.now(), ClientID: uint64(c.cfg.ID)},
 		readKeys: make(map[string]bool),
+		readVals: make(map[string][]byte),
 		writes:   make(map[string][]byte),
 		deps:     make(map[types.TxID]types.Dependency),
 		depMetas: make(map[types.TxID]*types.TxMeta),
@@ -67,8 +73,13 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	if v, ok := t.writes[key]; ok {
 		return v, nil
 	}
-	// Repeat reads return the recorded version's value only if we cached
-	// it; for simplicity the client re-reads (replicas serve it cheaply).
+	// Repeatable reads: once a version is chosen for a key it is fixed in
+	// the read set, so repeat reads must serve the cached value. Re-asking
+	// replicas could return a version newer than the recorded one,
+	// diverging what the application saw from what ST1 validates.
+	if t.readKeys[key] {
+		return t.readVals[key], nil
+	}
 	c := t.c
 	shard := c.cfg.ShardOf(key)
 	replicas := c.replicasOf(shard)
@@ -86,12 +97,14 @@ func (t *Txn) Read(key string) ([]byte, error) {
 			n = len(replicas) // retry against the full shard
 		}
 		// Spread load: start at a rotating offset so replicas share the
-		// f+1-read traffic.
+		// f+1-read traffic. One SendAll = one body encode on the wire.
 		off := int(reqID) % len(replicas)
-		for i := 0; i < n; i++ {
-			c.send(replicas[(off+i)%len(replicas)], req)
+		tos := make([]transport.Addr, n)
+		for i := range tos {
+			tos[i] = replicas[(off+i)%len(replicas)]
 		}
-		val, err := t.collectRead(key, reqID, ch)
+		c.cfg.Net.SendAll(c.addr, tos, req)
+		val, err := t.collectRead(key, shard, reqID, ch)
 		c.endRequest(reqID)
 		if err == nil {
 			return val, nil
@@ -104,8 +117,10 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	}
 }
 
-// collectRead gathers replies until a valid choice exists.
-func (t *Txn) collectRead(key string, reqID uint64, ch chan any) ([]byte, error) {
+// collectRead gathers replies until a valid choice exists. shard is the
+// shard the request targeted; replies from any other shard are rejected
+// even when correctly signed.
+func (t *Txn) collectRead(key string, shard int32, reqID uint64, ch chan any) ([]byte, error) {
 	c := t.c
 	need := c.cfg.ReadWait
 	trustSingle := need == 1 // Fig. 5b "one read": no cross-validation
@@ -126,6 +141,14 @@ func (t *Txn) collectRead(key string, reqID uint64, ch chan any) ([]byte, error)
 		case m := <-ch:
 			rr, ok := m.(*types.ReadReply)
 			if !ok || rr.Key != key || seen[rr.ReplicaID] {
+				continue
+			}
+			// A same-index replica of a different shard signs its replies
+			// with its own (valid) key, so signature verification alone
+			// does not bind the reply to the shard we asked: check the
+			// shard id explicitly or cross-shard replies would count
+			// toward this shard's read quorum.
+			if rr.ShardID != shard {
 				continue
 			}
 			sig := rr.Sig
@@ -228,6 +251,7 @@ func (t *Txn) chooseRead(key string, cands []readCandidate) []byte {
 	if !t.readKeys[key] {
 		t.reads = append(t.reads, types.ReadEntry{Key: key, Version: best.version})
 		t.readKeys[key] = true
+		t.readVals[key] = best.value
 	}
 	if best.prepared && best.writer != nil {
 		id := best.writer.ID()

@@ -206,9 +206,7 @@ func (r *Replica) onElectFB(_ transport.Addr, m *types.ElectFB) {
 	r.Stats.DecFBs.Add(1)
 	r.signThen(decMsg.Payload(), func(sig types.Signature) {
 		decMsg.Sig = sig
-		for i := 0; i < r.qc.N(); i++ {
-			r.send(transport.ReplicaAddr(r.cfg.Shard, int32(i)), decMsg)
-		}
+		r.broadcastShard(decMsg)
 	})
 }
 

@@ -124,6 +124,10 @@ type Replica struct {
 	qv      *quorum.Verifier
 	store   *store.Store
 
+	// shardAddrs is the static membership of this replica's shard, the
+	// tos slice for whole-shard broadcasts.
+	shardAddrs []transport.Addr
+
 	mu  sync.Mutex
 	txs map[types.TxID]*txState
 	// depWaiters: transaction id -> ids of transactions whose vote waits
@@ -154,6 +158,7 @@ func New(cfg Config) *Replica {
 		txs:        make(map[types.TxID]*txState),
 		depWaiters: make(map[types.TxID][]types.TxID),
 	}
+	r.shardAddrs = transport.ShardAddrs(cfg.Shard, r.qc.N())
 	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
 	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf}
 	cfg.Net.Register(r.addr, r)
@@ -215,6 +220,13 @@ func (r *Replica) txLocked(id types.TxID) *txState {
 // send is a convenience wrapper.
 func (r *Replica) send(to transport.Addr, msg any) {
 	r.cfg.Net.Send(r.addr, to, msg)
+}
+
+// broadcastShard sends msg to every replica of this shard (self included)
+// with one body encode on wire transports. Shard membership is static, so
+// the address slice is computed once at construction.
+func (r *Replica) broadcastShard(msg any) {
+	r.cfg.Net.SendAll(r.addr, r.shardAddrs, msg)
 }
 
 // signThen enqueues payload for (batched) signing; done receives the

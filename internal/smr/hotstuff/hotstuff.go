@@ -165,9 +165,7 @@ func (r *Replica) Close() {
 func (r *Replica) leaderOf(height uint64) int32 { return int32(height % uint64(r.cfg.N())) }
 
 func (r *Replica) broadcast(msg any) {
-	for i := 0; i < r.cfg.N(); i++ {
-		r.cfg.Net.Send(r.addr, transport.ReplicaAddr(r.cfg.Shard, int32(i)), msg)
-	}
+	r.cfg.Net.SendAll(r.addr, transport.ShardAddrs(r.cfg.Shard, r.cfg.N()), msg)
 }
 
 // Deliver implements transport.Handler.
@@ -452,10 +450,11 @@ func NewGroup(cfg Config) *Group {
 // Submit broadcasts a command to every replica's pool; the next leaders
 // include it (execution deduplicates double inclusion).
 func (g *Group) Submit(from transport.Addr, cmd smr.Command) {
-	m := &submitMsg{Cmd: cmd}
-	for _, r := range g.replicas {
-		g.cfg.Net.Send(from, r.addr, m)
+	tos := make([]transport.Addr, len(g.replicas))
+	for i, r := range g.replicas {
+		tos[i] = r.addr
 	}
+	g.cfg.Net.SendAll(from, tos, &submitMsg{Cmd: cmd})
 }
 
 // Replicas exposes group members.

@@ -146,9 +146,7 @@ func (r *Replica) isLeader() bool {
 }
 
 func (r *Replica) broadcast(msg any) {
-	for i := 0; i < r.cfg.N(); i++ {
-		r.cfg.Net.Send(r.addr, transport.ReplicaAddr(r.cfg.Shard, int32(i)), msg)
-	}
+	r.cfg.Net.SendAll(r.addr, transport.ShardAddrs(r.cfg.Shard, r.cfg.N()), msg)
 }
 
 // Deliver implements transport.Handler.

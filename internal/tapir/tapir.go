@@ -341,9 +341,7 @@ func (t *Txn) Commit() error {
 	defer cl.endRequest(reqID)
 	req := &prepareReq{ReqID: reqID, Meta: meta}
 	for _, s := range meta.Shards {
-		for i := 0; i < n; i++ {
-			cl.net.Send(cl.addr, transport.ReplicaAddr(s, int32(i)), req)
-		}
+		cl.net.SendAll(cl.addr, transport.ShardAddrs(s, n), req)
 	}
 	type skey struct {
 		shard   int32
@@ -445,9 +443,7 @@ collect:
 	// a synchronous decision broadcast acknowledgement-free resend.
 	dec := &decideReq{TxID: id, Meta: meta, Decision: decision}
 	for _, s := range meta.Shards {
-		for i := 0; i < n; i++ {
-			cl.net.Send(cl.addr, transport.ReplicaAddr(s, int32(i)), dec)
-		}
+		cl.net.SendAll(cl.addr, transport.ShardAddrs(s, n), dec)
 	}
 	if decision == types.DecisionCommit {
 		cl.Stats.TxCommitted.Add(1)

@@ -84,6 +84,17 @@ func (l *Local) Send(from, to Addr, msg any) {
 	node.box.push(envelope{from: from, msg: msg})
 }
 
+// SendAll implements Network. In-process delivery has no serialization to
+// share, so a broadcast is exactly a Send per destination: the installed
+// LinkPolicy is consulted for every (from, to) pair individually, keeping
+// fault injection (per-link drops, delays, partitions) byte-identical
+// between a broadcast and a loop of unicasts.
+func (l *Local) SendAll(from Addr, tos []Addr, msg any) {
+	for _, to := range tos {
+		l.Send(from, to, msg)
+	}
+}
+
 // Close implements Network. It stops all dispatchers and waits for them.
 func (l *Local) Close() {
 	l.mu.Lock()

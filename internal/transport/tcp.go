@@ -3,7 +3,6 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -31,21 +30,39 @@ import (
 // connections are evicted everywhere they are referenced, including
 // reverse routes learned from inbound traffic, so a reconnecting peer is
 // never shadowed by a dead socket.
+//
+// Broadcasts (SendAll) encode the message body exactly once: each
+// destination's frame shares the body slice and carries only its own
+// 22-byte header (length prefix + from/to addrs), so fanning an ST1 or
+// writeback out to a whole shard costs one serialization, not n.
+//
+// Dialing never happens on the send path. The first send to an
+// unconnected host:port enqueues onto a connection shell whose socket a
+// background goroutine is dialing; a failed dial marks the host:port down
+// for DialBackoff, during which further sends drop immediately. One
+// unreachable replica therefore cannot stall a shard broadcast for the
+// dial timeout.
 type TCP struct {
 	book map[Addr]string // transport addr -> host:port
 	opts TCPOptions
+	// dialFn performs outbound connection attempts; a test seam, set once
+	// at construction and overridable before traffic flows.
+	dialFn func(hostport string) (net.Conn, error)
 
 	mu       sync.Mutex
 	handlers map[Addr]Handler
-	conns    map[string]*tcpConn // dialed, by host:port
+	conns    map[string]*tcpConn // dialed (or dialing), by host:port
 	// reverse maps a remote node's transport address to the inbound
 	// connection its traffic arrives on, so replies reach nodes that are
 	// not in the address book (clients behind ephemeral ports).
 	reverse map[Addr]*tcpConn
 	live    map[*tcpConn]struct{} // every open connection, for Close
-	ln      net.Listener
-	closed  bool
-	wg      sync.WaitGroup
+	// down records host:ports whose last dial failed; sends to them are
+	// dropped (fail-fast) until the backoff deadline passes.
+	down   map[string]time.Time
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // TCPOptions tunes a TCP network. The zero value selects the defaults.
@@ -64,6 +81,10 @@ type TCPOptions struct {
 	Queue int
 	// DialTimeout bounds outbound connection attempts. Default 3s.
 	DialTimeout time.Duration
+	// DialBackoff is how long a host:port whose dial failed is considered
+	// down; sends to it during the window are dropped without dialing.
+	// Default 1s.
+	DialBackoff time.Duration
 }
 
 func (o *TCPOptions) withDefaults() {
@@ -79,33 +100,102 @@ func (o *TCPOptions) withDefaults() {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 3 * time.Second
 	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = time.Second
+	}
 }
 
-// tcpConn is one TCP connection (dialed or inbound) with its outbound
-// frame queue. The writer goroutine is the only writer on the socket.
+// frameHdrSize is the fixed per-destination frame header: a 4-byte length
+// prefix plus the sender and destination addresses.
+const frameHdrSize = 4 + 2*addrWireSize
+
+// wireFrame is one outbound frame: the per-destination header and the
+// encoded message body. Broadcast frames share one body slice across all
+// destinations — only the header differs — so the body must never be
+// mutated after it is handed to enqueue.
+type wireFrame struct {
+	hdr  [frameHdrSize]byte
+	body []byte
+}
+
+// makeFrame stamps the per-destination header onto a shared body.
+func makeFrame(from, to Addr, body []byte) wireFrame {
+	var f wireFrame
+	binary.BigEndian.PutUint32(f.hdr[:4], uint32(2*addrWireSize+len(body)))
+	putAddr(f.hdr[4:], from)
+	putAddr(f.hdr[4+addrWireSize:], to)
+	f.body = body
+	return f
+}
+
+// tcpConn is one TCP connection (dialed, dialing, or inbound) with its
+// outbound frame queue. The writer goroutine is the only writer on the
+// socket. For outbound connections the socket is attached by the
+// background dial goroutine; frames enqueued meanwhile wait in out.
 type tcpConn struct {
-	c        net.Conn
 	hostport string // dial target; "" for inbound connections
-	out      chan []byte
+	out      chan wireFrame
 	closed   chan struct{}
-	once     sync.Once
+	// ready is closed once the socket is attached; while it is open the
+	// peer may well be dead, so a full queue drops instead of blocking.
+	ready chan struct{}
+	once  sync.Once
+
+	connMu sync.Mutex
+	c      net.Conn // nil until the background dial completes (outbound)
 }
 
 // close makes the connection unusable; safe to call many times.
 func (c *tcpConn) close() {
 	c.once.Do(func() {
 		close(c.closed)
-		c.c.Close()
+		c.connMu.Lock()
+		if c.c != nil {
+			c.c.Close()
+		}
+		c.connMu.Unlock()
 	})
 }
 
-// enqueue hands a frame to the writer goroutine, blocking while the queue
-// is full (backpressure). It reports false when the connection is dead.
-func (c *tcpConn) enqueue(frame []byte) bool {
+// attach installs the dialed socket. It reports false when the connection
+// was closed while the dial was in flight (the caller must close raw).
+func (c *tcpConn) attach(raw net.Conn) bool {
+	c.connMu.Lock()
+	c.c = raw
+	c.connMu.Unlock()
+	close(c.ready)
 	select {
 	case <-c.closed:
 		return false
 	default:
+		return true
+	}
+}
+
+// enqueue hands a frame to the writer goroutine. On a live (attached)
+// connection a full queue blocks — backpressure. While the background
+// dial is still pending a full queue drops the frame instead: the peer is
+// plausibly dead, and blocking here would let it stall a broadcast for
+// the remainder of the dial timeout. It reports false when the connection
+// is dead (the caller should evict it).
+func (c *tcpConn) enqueue(frame wireFrame) bool {
+	select {
+	case <-c.closed:
+		return false
+	default:
+	}
+	select {
+	case c.out <- frame:
+		return true
+	case <-c.closed:
+		return false
+	default:
+	}
+	// Queue full. Only block for it to drain if the socket is attached.
+	select {
+	case <-c.ready:
+	default:
+		return true // dial still pending: drop, connection stays usable
 	}
 	select {
 	case c.out <- frame:
@@ -132,6 +222,10 @@ func NewTCPOpts(listen string, book map[Addr]string, opts TCPOptions) (*TCP, err
 		conns:    make(map[string]*tcpConn),
 		reverse:  make(map[Addr]*tcpConn),
 		live:     make(map[*tcpConn]struct{}),
+		down:     make(map[string]time.Time),
+	}
+	t.dialFn = func(hostport string) (net.Conn, error) {
+		return net.DialTimeout("tcp", hostport, t.opts.DialTimeout)
 	}
 	if listen != "" {
 		ln, err := net.Listen("tcp", listen)
@@ -179,15 +273,17 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-// adopt registers a new connection, starts its writer goroutine, and
+// adopt registers an inbound connection, starts its writer goroutine, and
 // reports false when the network is already closed.
 func (t *TCP) adopt(raw net.Conn, hostport string) (*tcpConn, bool) {
 	c := &tcpConn{
 		c:        raw,
 		hostport: hostport,
-		out:      make(chan []byte, t.opts.Queue),
+		out:      make(chan wireFrame, t.opts.Queue),
 		closed:   make(chan struct{}),
+		ready:    make(chan struct{}),
 	}
+	close(c.ready) // the socket exists from the start
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -206,8 +302,11 @@ func (t *TCP) adopt(raw net.Conn, hostport string) (*tcpConn, bool) {
 func (t *TCP) writeLoop(c *tcpConn) {
 	defer t.wg.Done()
 	bw := bufio.NewWriterSize(c.c, t.opts.BufSize)
-	write := func(frame []byte) bool {
-		_, err := bw.Write(frame)
+	write := func(frame wireFrame) bool {
+		if _, err := bw.Write(frame.hdr[:]); err != nil {
+			return false
+		}
+		_, err := bw.Write(frame.body)
 		return err == nil
 	}
 	for {
@@ -311,72 +410,137 @@ func (t *TCP) Register(addr Addr, h Handler) {
 	t.mu.Unlock()
 }
 
+// encodeBody serializes msg with the canonical tagged codec. The test
+// hook lets the counting-codec test prove encode-once semantics without a
+// second serialization path.
+var encodeBodyHook func(msg any) // test seam; nil outside tests
+
+func encodeBody(msg any) ([]byte, error) {
+	if encodeBodyHook != nil {
+		encodeBodyHook(msg)
+	}
+	return types.EncodeMessage(msg)
+}
+
 // Send implements Network. Messages to locally registered handlers are
 // delivered directly; everything else is framed onto a cached connection.
 // Non-protocol values and unroutable destinations are dropped (the
 // asynchronous network model; protocols tolerate loss).
 func (t *TCP) Send(from, to Addr, msg any) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return
-	}
-	if h := t.handlers[to]; h != nil {
-		t.mu.Unlock()
-		h.Deliver(from, msg)
-		return
-	}
-	hostport := t.book[to]
-	var conn *tcpConn
-	if hostport == "" {
-		conn = t.reverse[to]
-	}
-	t.mu.Unlock()
-	if conn == nil {
-		if hostport == "" {
-			return // unknown destination: dropped
-		}
-		var err error
-		conn, err = t.conn(hostport)
-		if err != nil {
+	t.SendAll(from, []Addr{to}, msg)
+}
+
+// SendAll implements Network with encode-once semantics: the message body
+// is serialized at most once for the whole broadcast (lazily, so a fanout
+// that resolves entirely to local handlers never touches the codec), and
+// every remote destination's frame shares that body, stamped with its own
+// header. Local destinations reuse the decoded value directly.
+func (t *TCP) SendAll(from Addr, tos []Addr, msg any) {
+	var body []byte
+	unencodable := false
+	for _, to := range tos {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
 			return
 		}
-	}
-	frame, err := encodeFrame(from, to, msg)
-	if err != nil {
-		return // not a protocol message: dropped
-	}
-	if len(frame)-4 > t.opts.MaxFrame {
-		// Drop sender-side: shipping an oversized frame would make the
-		// receiver kill the whole connection (and every in-flight frame
-		// on it), turning one huge certificate into a connect/kill loop.
-		return
-	}
-	if !conn.enqueue(frame) {
-		t.evict(conn)
+		if h := t.handlers[to]; h != nil {
+			t.mu.Unlock()
+			h.Deliver(from, msg)
+			continue
+		}
+		conn := t.routeLocked(to)
+		t.mu.Unlock()
+		if conn == nil {
+			continue // unknown, or fail-fast on a backed-off host:port
+		}
+		if body == nil {
+			if unencodable {
+				continue
+			}
+			var err error
+			body, err = encodeBody(msg)
+			if err != nil || 2*addrWireSize+len(body) > t.opts.MaxFrame {
+				// Not a protocol message, or a frame the receiver would
+				// kill the connection over (dropping every in-flight frame
+				// with it): drop sender-side for all remote destinations.
+				body, unencodable = nil, true
+				continue
+			}
+		}
+		if !conn.enqueue(makeFrame(from, to, body)) {
+			t.evict(conn)
+		}
 	}
 }
 
-// encodeFrame builds a length-prefixed wire frame.
-func encodeFrame(from, to Addr, msg any) ([]byte, error) {
-	b := make([]byte, 4, 192)
-	b = appendAddr(b, from)
-	b = appendAddr(b, to)
-	b, err := types.AppendMessage(b, msg)
-	if err != nil {
-		return nil, err
+// routeLocked resolves to's outbound connection, starting a background
+// dial when none exists. It returns nil for unknown destinations and for
+// host:ports inside their dial-failure backoff window. Caller holds t.mu.
+func (t *TCP) routeLocked(to Addr) *tcpConn {
+	hostport := t.book[to]
+	if hostport == "" {
+		return t.reverse[to]
 	}
-	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
-	return b, nil
+	if c := t.conns[hostport]; c != nil {
+		return c
+	}
+	if until, dead := t.down[hostport]; dead {
+		if time.Now().Before(until) {
+			return nil // fail-fast: recently unreachable
+		}
+		delete(t.down, hostport)
+	}
+	c := &tcpConn{
+		hostport: hostport,
+		out:      make(chan wireFrame, t.opts.Queue),
+		closed:   make(chan struct{}),
+		ready:    make(chan struct{}),
+	}
+	t.conns[hostport] = c
+	t.live[c] = struct{}{}
+	t.wg.Add(1)
+	go t.dialLoop(c)
+	return c
+}
+
+// dialLoop connects an outbound connection shell off the send path. On
+// success it attaches the socket and starts the writer (draining frames
+// queued during the dial) and reader; on failure it marks the host:port
+// down for the backoff window and evicts the shell.
+func (t *TCP) dialLoop(c *tcpConn) {
+	defer t.wg.Done()
+	raw, err := t.dialFn(c.hostport)
+	if err != nil {
+		t.mu.Lock()
+		t.down[c.hostport] = time.Now().Add(t.opts.DialBackoff)
+		t.mu.Unlock()
+		t.evict(c)
+		return
+	}
+	if !c.attach(raw) {
+		raw.Close() // closed while dialing
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.evict(c)
+		return
+	}
+	t.wg.Add(2)
+	t.mu.Unlock()
+	go t.writeLoop(c)
+	go t.readLoop(c, false)
 }
 
 // addrWireSize is the encoded size of an Addr: role byte + shard + index.
 const addrWireSize = 9
 
-func appendAddr(b []byte, a Addr) []byte {
-	b = append(b, byte(a.Role))
-	b = binary.BigEndian.AppendUint32(b, uint32(a.Shard))
-	return binary.BigEndian.AppendUint32(b, uint32(a.Index))
+func putAddr(b []byte, a Addr) {
+	b[0] = byte(a.Role)
+	binary.BigEndian.PutUint32(b[1:5], uint32(a.Shard))
+	binary.BigEndian.PutUint32(b[5:9], uint32(a.Index))
 }
 
 func decodeAddr(b []byte) (Addr, bool) {
@@ -388,53 +552,6 @@ func decodeAddr(b []byte) (Addr, bool) {
 		Shard: int32(binary.BigEndian.Uint32(b[1:5])),
 		Index: int32(binary.BigEndian.Uint32(b[5:9])),
 	}, true
-}
-
-// conn returns the cached dialed connection for hostport, dialing if
-// needed. Replies may come back on the same socket (reverse routing on
-// the peer), so a read loop is started for it too.
-func (t *TCP) conn(hostport string) (*tcpConn, error) {
-	t.mu.Lock()
-	if c := t.conns[hostport]; c != nil {
-		t.mu.Unlock()
-		return c, nil
-	}
-	t.mu.Unlock()
-	raw, err := net.DialTimeout("tcp", hostport, t.opts.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
-	t.mu.Lock()
-	if prev := t.conns[hostport]; prev != nil {
-		t.mu.Unlock()
-		raw.Close()
-		return prev, nil
-	}
-	t.mu.Unlock()
-	c, ok := t.adopt(raw, hostport)
-	if !ok {
-		raw.Close()
-		return nil, errors.New("transport: closed")
-	}
-	t.mu.Lock()
-	// Re-check closed: Close may have completed while we were dialing, and
-	// wg.Add after its Wait (or repopulating the reset conns map) would
-	// leak a goroutine past Close.
-	if t.closed {
-		t.mu.Unlock()
-		t.evict(c)
-		return nil, errors.New("transport: closed")
-	}
-	if prev := t.conns[hostport]; prev != nil {
-		t.mu.Unlock()
-		t.evict(c)
-		return prev, nil
-	}
-	t.conns[hostport] = c
-	t.wg.Add(1)
-	t.mu.Unlock()
-	go t.readLoop(c, false)
-	return c, nil
 }
 
 // Close implements Network.

@@ -40,6 +40,17 @@ func ReplicaAddr(shard, index int32) Addr {
 // ClientAddr builds a client address.
 func ClientAddr(id int32) Addr { return Addr{Role: RoleClient, Index: id} }
 
+// ShardAddrs enumerates the n replica addresses of shard s — the tos
+// slice for a whole-shard SendAll. Network implementations do not retain
+// tos, so callers with static membership may cache the result.
+func ShardAddrs(s int32, n int) []Addr {
+	tos := make([]Addr, n)
+	for i := range tos {
+		tos[i] = ReplicaAddr(s, int32(i))
+	}
+	return tos
+}
+
 func (a Addr) String() string {
 	if a.Role == RoleReplica {
 		return fmt.Sprintf("r%d.%d", a.Shard, a.Index)
@@ -67,6 +78,15 @@ type Network interface {
 	// addresses are dropped (an asynchronous network may always lose
 	// messages; protocols must tolerate it).
 	Send(from, to Addr, msg any)
+	// SendAll enqueues msg for delivery from -> each address in tos; it is
+	// the broadcast primitive every protocol fanout should use. Semantics
+	// are identical to calling Send once per destination — unknown
+	// addresses are dropped, per-link fault policies still see every
+	// (from, to) pair — but implementations may (and the TCP transport
+	// does) serialize the message body exactly once for the whole
+	// broadcast, stamping only the per-destination frame header.
+	// Implementations must not retain tos.
+	SendAll(from Addr, tos []Addr, msg any)
 	// Close stops all dispatchers.
 	Close()
 }

@@ -138,9 +138,11 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	req := &ReadReq{ReqID: reqID, Key: key}
 	ask := 2*c.cfg.F + 1
 	off := int(reqID) % n
-	for i := 0; i < ask; i++ {
-		c.cfg.Net.Send(c.addr, transport.ReplicaAddr(shard, int32((off+i)%n)), req)
+	tos := make([]transport.Addr, ask)
+	for i := range tos {
+		tos[i] = transport.ReplicaAddr(shard, int32((off+i)%n))
 	}
+	c.cfg.Net.SendAll(c.addr, tos, req)
 	type rv struct {
 		ver uint64
 		val string
