@@ -22,16 +22,23 @@ test:
 	$(GO) test ./...
 
 # Transport concurrency (writer goroutines, background dialing, SendAll
-# body sharing) and client reply collection must stay race-clean; this
-# runs as part of `make check` so regressions are caught locally.
+# body sharing), client reply collection, the replica's parallel ingest
+# pipeline and the striped store must stay race-clean; this runs as part
+# of `make check` so regressions are caught locally.
 test-race:
-	$(GO) test -race ./internal/transport/ ./internal/client/
+	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/
 
 # The transport and codec tests are required to pass under the race
 # detector (per-connection writer goroutines, reverse-route eviction).
 race:
 	$(GO) test -race ./internal/transport/ ./internal/types/ ./internal/cryptoutil/ ./basil/ -run 'TestTCP|TestWire|TestBatch'
 
+# Perf trajectory: the parallel-pipeline prepare benchmarks (recorded to
+# BENCH_parallel.json at GOMAXPROCS=4 with exactly-twice message delivery;
+# see internal/store/parallel_bench_test.go for what each side models) and
+# the wire-path benchmarks.
 bench:
+	$(GO) test ./internal/store/ -run TestWriteParallelBench -parallelbench $(CURDIR)/BENCH_parallel.json -v -count=1
+	GOMAXPROCS=4 $(GO) test ./internal/store/ -run xxx -bench 'BenchmarkPrepare' -benchtime=2000x
 	$(GO) test ./internal/types/ -run xxx -bench BenchmarkWireCodec
-	$(GO) test ./internal/transport/ -run xxx -bench BenchmarkTCPTransport
+	$(GO) test ./internal/transport/ -run xxx -bench 'BenchmarkTCPTransport|BenchmarkTCPBroadcast'

@@ -61,6 +61,15 @@ type Options struct {
 	BatchSize int
 	// BatchDelay bounds how long a partial batch may wait. Default 500µs.
 	BatchDelay time.Duration
+	// VerifyWorkers sizes each replica's ingest worker pool (and the pool
+	// clients share for certificate verification): signature checks and
+	// message handling run concurrently on it. 0 defaults to GOMAXPROCS;
+	// 1 reproduces the old serial message loop.
+	VerifyWorkers int
+	// StoreStripes is each replica store's per-key lock-stripe count.
+	// 0 defaults to store.DefaultStripes; 1 is the single-lock baseline
+	// the parallel experiment compares against.
+	StoreStripes int
 	// DeltaMicros is the timestamp admission bound δ. Default 60s.
 	DeltaMicros uint64
 	// ReadWait is how many read replies a client needs: 1, F+1 (default)
@@ -146,6 +155,9 @@ type Cluster struct {
 	signerOf quorum.SignerOf
 	nextCli  atomic.Int32
 	clients  []*Client
+	// cliPool is the verification pool shared by every client of this
+	// cluster (replicas each own their ingest pool).
+	cliPool *cryptoutil.VerifyPool
 }
 
 // NewCluster builds and starts a cluster.
@@ -166,6 +178,7 @@ func NewCluster(opts Options) *Cluster {
 	c := &Cluster{
 		opts: opts, net: net, ownNet: own, registry: reg, signerOf: signerOf,
 		replicas: make([][]*replica.Replica, opts.Shards),
+		cliPool:  cryptoutil.NewVerifyPool(opts.VerifyWorkers),
 	}
 	if opts.TCPLoopback {
 		c.tcpBook = make(map[transport.Addr]string)
@@ -186,6 +199,7 @@ func NewCluster(opts Options) *Cluster {
 				Shard: int32(s), Index: int32(i), F: opts.F,
 				DeltaMicros: opts.DeltaMicros,
 				BatchSize:   opts.BatchSize, BatchDelay: opts.BatchDelay,
+				VerifyWorkers: opts.VerifyWorkers, Stripes: opts.StoreStripes,
 				Clock: opts.Clock, Registry: reg,
 				SignerID: signerOf(int32(s), int32(i)), SignerOf: signerOf,
 				Net:                 nodeNet,
@@ -243,23 +257,16 @@ func (c *Cluster) Load(key string, value []byte) {
 
 // NewClient attaches a new client to the cluster.
 func (c *Cluster) NewClient() *Client {
-	id := c.nextCli.Add(1)
-	inner := client.New(client.Config{
-		ID: id, F: c.opts.F, NumShards: int32(c.opts.Shards),
-		ShardOf: c.opts.ShardOf, Clock: c.opts.Clock,
-		Registry: c.registry, SignerOf: c.signerOf, Net: c.clientNet(),
-		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
-		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
-		RetryTimeout: c.opts.RetryTimeout,
-	})
-	cl := &Client{inner: inner}
-	c.clients = append(c.clients, cl)
-	return cl
+	return c.newClientWithClock(c.opts.Clock)
 }
 
 // NewClientWithClock attaches a client that uses its own clock — used by
 // tests to model clock skew between a client and the replicas (δ bound).
 func (c *Cluster) NewClientWithClock(clk clock.Clock) *Client {
+	return c.newClientWithClock(clk)
+}
+
+func (c *Cluster) newClientWithClock(clk clock.Clock) *Client {
 	id := c.nextCli.Add(1)
 	inner := client.New(client.Config{
 		ID: id, F: c.opts.F, NumShards: int32(c.opts.Shards),
@@ -267,7 +274,7 @@ func (c *Cluster) NewClientWithClock(clk clock.Clock) *Client {
 		Registry: c.registry, SignerOf: c.signerOf, Net: c.clientNet(),
 		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
 		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
-		RetryTimeout: c.opts.RetryTimeout,
+		RetryTimeout: c.opts.RetryTimeout, VerifyPool: c.cliPool,
 	})
 	cl := &Client{inner: inner}
 	c.clients = append(c.clients, cl)
@@ -290,13 +297,15 @@ func (c *Cluster) Shards() int { return c.opts.Shards }
 // to the in-process Local network only.
 func (c *Cluster) Net() *transport.Local { return c.net }
 
-// Close flushes replicas and stops the owned transports.
+// Close flushes replicas, drains the client verification pool, and stops
+// the owned transports.
 func (c *Cluster) Close() {
 	for _, shard := range c.replicas {
 		for _, r := range shard {
 			r.Close()
 		}
 	}
+	c.cliPool.Close()
 	if c.ownNet {
 		c.net.Close()
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package basil_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-sensitive tests scale their workloads and protocol timeouts by
+// it: instrumented crypto runs an order of magnitude slower, which is a
+// property of the detector, not of the protocol under test.
+const raceEnabled = false

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -103,6 +103,11 @@ func main() {
 		t.Render(out)
 		bt := benchharness.FigBroadcast(scale)
 		bt.Render(out)
+	}
+	if run("parallel") {
+		any = true
+		t := benchharness.FigParallel(scale)
+		t.Render(out)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -40,6 +40,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "registry key seed (must match across all nodes)")
 	batch := flag.Int("batch", 16, "reply signature batch size")
 	maxFrame := flag.Int("maxframe", 16<<20, "largest wire frame in bytes, sent or accepted; must be identical on every node of the deployment (a frame one node sends but another rejects kills the connection)")
+	verifyWorkers := flag.Int("verify-workers", 0, "ingest worker pool size: signature verification and message handling run concurrently on this many workers (0 = GOMAXPROCS, 1 = serial message loop)")
+	stripes := flag.Int("stripes", 0, "store lock-stripe count; prepares on disjoint key stripes run in parallel (0 = default, 1 = single global key lock)")
 	flag.Parse()
 
 	shard, index, err := parseReplica(*which)
@@ -63,12 +65,14 @@ func main() {
 
 	r := replica.New(replica.Config{
 		Shard: shard, Index: index, F: *f,
-		DeltaMicros: 60_000_000,
-		BatchSize:   *batch,
-		Registry:    reg,
-		SignerID:    signerOf(shard, index),
-		SignerOf:    signerOf,
-		Net:         net,
+		DeltaMicros:   60_000_000,
+		BatchSize:     *batch,
+		VerifyWorkers: *verifyWorkers,
+		Stripes:       *stripes,
+		Registry:      reg,
+		SignerID:      signerOf(shard, index),
+		SignerOf:      signerOf,
+		Net:           net,
 	})
 	defer r.Close()
 

@@ -3,6 +3,7 @@ package benchharness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -492,6 +493,42 @@ func FigBroadcast(s Scale) Table {
 	}
 	t.Rows = append(t.Rows, []string{"Send x n", f2(run(false)), fmt.Sprintf("%d", fan)})
 	t.Rows = append(t.Rows, []string{"SendAll", f2(run(true)), "1"})
+	return t
+}
+
+// FigParallel is a reproduction-aid experiment not in the paper: it
+// measures the replica's parallel ingest pipeline by sweeping the verify
+// worker-pool size (1 worker reproduces the old serial message loop)
+// against the store locking regime (1 stripe is the old single store
+// mutex). The RW-U workload with many closed-loop clients keeps every
+// replica's ingest queue busy, so the deltas isolate how much of the
+// paper's "BFT at OCC-store parallelism" claim the pipeline recovers.
+func FigParallel(s Scale) Table {
+	t := Table{Title: "Parallel pipeline: verify workers × store locking (RW-U)",
+		Header: []string{"verify-workers", "store", "tput (tx/s)", "mean lat (ms)"}}
+	gen := s.ycsbRWU()
+	cfg := s.runCfg()
+	workerCounts := []int{1, 4}
+	if gm := runtime.GOMAXPROCS(0); gm != 1 && gm != 4 {
+		workerCounts = append(workerCounts, gm)
+	}
+	for _, workers := range workerCounts {
+		for _, stripes := range []int{1, 0} {
+			label := "striped"
+			if stripes == 1 {
+				label = "global-lock"
+			}
+			sys := NewBasil(gen, basil.Options{
+				F: 1, Shards: 1, BatchSize: 16,
+				VerifyWorkers: workers, StoreStripes: stripes,
+			})
+			r := Run(sys, gen, cfg)
+			sys.Close()
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(workers), label, f1(r.Throughput), f2(r.MeanLatMs),
+			})
+		}
+	}
 	return t
 }
 

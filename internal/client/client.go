@@ -57,6 +57,12 @@ type Config struct {
 	PhaseTimeout time.Duration
 	// RetryTimeout bounds a whole commit attempt.
 	RetryTimeout time.Duration
+	// VerifyPool, if non-nil, parallelizes the signature checks of
+	// multi-reply validations (tallies, certificates) across its workers —
+	// the same bounded pool machinery the replica ingest path uses. Pools
+	// may be shared between clients; verification falls back inline when
+	// the pool is busy.
+	VerifyPool *cryptoutil.VerifyPool
 }
 
 // Stats counts client-side protocol events.
@@ -132,7 +138,7 @@ func New(cfg Config) *Client {
 		pending:   make(map[uint64]chan any),
 		recovered: make(map[types.TxID]time.Time),
 	}
-	c.qv = &quorum.Verifier{Cfg: c.qc, Sigs: c.sv, SignerOf: cfg.SignerOf}
+	c.qv = &quorum.Verifier{Cfg: c.qc, Sigs: c.sv, SignerOf: cfg.SignerOf, Pool: cfg.VerifyPool}
 	cfg.Net.Register(c.addr, c)
 	return c
 }

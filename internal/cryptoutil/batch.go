@@ -1,7 +1,10 @@
 package cryptoutil
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/types"
@@ -134,13 +137,23 @@ func (b *BatchSigner) Close() {
 // SigVerifier verifies types.Signature values (direct or batched) against a
 // registry, caching verified batch roots so the root signature is checked
 // once per batch rather than once per reply (paper §4.4 signature cache).
+// Direct signatures get the same treatment through a bounded
+// verified-digest cache: protocol messages routinely re-carry the same
+// signed replies (an ST2 tally embeds the ST1Rs the client collected,
+// recovery re-delivers them, certificates repeat them per shard), and a
+// (digest, signer, sig) triple that verified once always verifies.
 type SigVerifier struct {
 	reg *Registry
 
 	mu    sync.Mutex
 	cache map[[32]byte]int32 // verified root -> signer
 	order [][32]byte         // FIFO eviction
-	max   int
+	// direct holds digests of already-verified direct signatures.
+	direct      map[[32]byte]bool
+	directOrder [][32]byte
+	max         int
+
+	directHits atomic.Uint64
 }
 
 // NewSigVerifier creates a verifier with a bounded root cache.
@@ -148,17 +161,66 @@ func NewSigVerifier(reg *Registry, cacheSize int) *SigVerifier {
 	if cacheSize < 1 {
 		cacheSize = 1
 	}
-	return &SigVerifier{reg: reg, cache: make(map[[32]byte]int32), max: cacheSize}
+	return &SigVerifier{
+		reg:    reg,
+		cache:  make(map[[32]byte]int32),
+		direct: make(map[[32]byte]bool),
+		max:    cacheSize,
+	}
+}
+
+// DirectCacheHits reports how many direct-signature verifications were
+// answered from the verified-digest cache (observability for tests and the
+// parallel experiment).
+func (v *SigVerifier) DirectCacheHits() uint64 { return v.directHits.Load() }
+
+// directKey folds the payload digest, signer id and signature bytes into
+// one cache key, so a Byzantine sender cannot poison the cache by pairing
+// a cached payload with a garbage signature.
+func directKey(d [32]byte, signer int32, sig []byte) [32]byte {
+	h := sha256.New()
+	h.Write(d[:])
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], uint32(signer))
+	h.Write(idb[:])
+	h.Write(sig)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
 }
 
 // Verify checks sig over payload. For batched signatures it verifies the
-// Merkle inclusion proof and then the root signature (via the cache).
+// Merkle inclusion proof and then the root signature (via the cache); for
+// direct signatures it consults the verified-digest cache first.
 func (v *SigVerifier) Verify(payload []byte, sig *types.Signature) bool {
 	if v.reg.Scheme() == SchemeNone {
 		return true
 	}
 	if !sig.IsBatched() {
-		return v.reg.Verify(sig.SignerID, payload, sig.Direct)
+		d := digest(payload)
+		key := directKey(d, sig.SignerID, sig.Direct)
+		v.mu.Lock()
+		hit := v.direct[key]
+		v.mu.Unlock()
+		if hit {
+			v.directHits.Add(1)
+			return true
+		}
+		if !v.reg.VerifyDigest(sig.SignerID, d, sig.Direct) {
+			return false
+		}
+		v.mu.Lock()
+		if !v.direct[key] {
+			if len(v.directOrder) >= v.max {
+				oldest := v.directOrder[0]
+				v.directOrder = v.directOrder[1:]
+				delete(v.direct, oldest)
+			}
+			v.direct[key] = true
+			v.directOrder = append(v.directOrder, key)
+		}
+		v.mu.Unlock()
+		return true
 	}
 	if !VerifyProof(payload, sig.Index, sig.Proof, sig.Root) {
 		return false

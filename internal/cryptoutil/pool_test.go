@@ -1,0 +1,136 @@
+package cryptoutil
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestVerifyPoolAll(t *testing.T) {
+	p := NewVerifyPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	if !p.All(100, func(i int) bool { ran.Add(1); return true }) {
+		t.Fatal("all-true batch reported failure")
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", ran.Load())
+	}
+	if p.All(50, func(i int) bool { return i != 17 }) {
+		t.Fatal("batch with one failure reported success")
+	}
+	if !p.All(0, func(int) bool { t.Fatal("n=0 ran a task"); return false }) {
+		t.Fatal("empty batch must pass")
+	}
+}
+
+// All must complete even when invoked from a pool worker with every other
+// slot busy — the inline fallback is what makes the replica's
+// verify-inside-handler pattern deadlock-free.
+func TestVerifyPoolAllFromWorker(t *testing.T) {
+	p := NewVerifyPool(1)
+	defer p.Close()
+	done := make(chan bool, 1)
+	p.Go(func() {
+		done <- p.All(32, func(int) bool { return true })
+	})
+	if !<-done {
+		t.Fatal("nested All failed")
+	}
+}
+
+func TestVerifyPoolCloseDrains(t *testing.T) {
+	p := NewVerifyPool(2)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Go(func() { ran.Add(1) })
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	accepted := ran.Load()
+	// Every accepted task must have executed before Close returned.
+	if accepted != 64 {
+		t.Fatalf("accepted %d of 64 pre-close tasks", accepted)
+	}
+	if p.Go(func() { ran.Add(1) }) {
+		t.Fatal("Go after Close must be rejected")
+	}
+	if ran.Load() != accepted {
+		t.Fatal("task ran after Close")
+	}
+	// All after Close falls back to inline execution and still completes.
+	var inline atomic.Int64
+	if !p.All(8, func(int) bool { inline.Add(1); return true }) {
+		t.Fatal("All after Close failed")
+	}
+	if inline.Load() != 8 {
+		t.Fatalf("All after Close ran %d of 8 inline", inline.Load())
+	}
+	p.Close() // idempotent
+}
+
+func TestSigVerifierDirectCache(t *testing.T) {
+	reg := NewRegistry(SchemeEd25519, 2, 1)
+	sv := NewSigVerifier(reg, 16)
+	payload := []byte("st1 reply payload")
+	sig := types.Signature{SignerID: 0, Direct: reg.Signer(0).Sign(payload)}
+
+	if !sv.Verify(payload, &sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if sv.DirectCacheHits() != 0 {
+		t.Fatal("first verification must miss the cache")
+	}
+	for i := 0; i < 3; i++ {
+		if !sv.Verify(payload, &sig) {
+			t.Fatal("re-verification rejected")
+		}
+	}
+	if sv.DirectCacheHits() != 3 {
+		t.Fatalf("expected 3 cache hits, got %d", sv.DirectCacheHits())
+	}
+
+	// Same payload with a corrupted signature must not hit the cache.
+	bad := sig
+	bad.Direct = append([]byte(nil), sig.Direct...)
+	bad.Direct[0] ^= 0xFF
+	if sv.Verify(payload, &bad) {
+		t.Fatal("corrupted signature accepted")
+	}
+	// A different signer claiming the same bytes must not hit either.
+	wrong := sig
+	wrong.SignerID = 1
+	if sv.Verify(payload, &wrong) {
+		t.Fatal("wrong signer accepted")
+	}
+}
+
+func TestSigVerifierDirectCacheEviction(t *testing.T) {
+	reg := NewRegistry(SchemeEd25519, 1, 1)
+	sv := NewSigVerifier(reg, 2)
+	sign := func(s string) ([]byte, types.Signature) {
+		p := []byte(s)
+		return p, types.Signature{SignerID: 0, Direct: reg.Signer(0).Sign(p)}
+	}
+	pa, sa := sign("a")
+	pb, sb := sign("b")
+	pc, sc := sign("c")
+	sv.Verify(pa, &sa)
+	sv.Verify(pb, &sb)
+	sv.Verify(pc, &sc) // evicts "a"
+	sv.Verify(pa, &sa) // miss, re-verified and re-cached
+	if sv.DirectCacheHits() != 0 {
+		t.Fatalf("expected 0 hits across evictions, got %d", sv.DirectCacheHits())
+	}
+	sv.Verify(pa, &sa)
+	if sv.DirectCacheHits() != 1 {
+		t.Fatalf("expected re-cached entry to hit, got %d", sv.DirectCacheHits())
+	}
+}

@@ -1,15 +1,33 @@
 // Package faults supplies Byzantine behavior strategies for replicas and
 // clients, used by the failure experiments (paper §6.4) and the
-// adversarial test suite.
+// adversarial test suite, plus seeded network-fault link policies for the
+// whole-cluster fuzz battery.
 package faults
 
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/replica"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
+
+// DropLinks returns a seeded LinkPolicy that drops each message with
+// probability p, independently per (from, to, message). The policy is
+// deterministic for a given seed and call sequence, so a failing fuzz run
+// reproduces from its printed seed.
+func DropLinks(seed int64, p float64) transport.LinkPolicy {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(from, to transport.Addr, msg any) (time.Duration, bool) {
+		mu.Lock()
+		drop := rng.Float64() < p
+		mu.Unlock()
+		return 0, drop
+	}
+}
 
 // VoteAbortReplica always votes abort, the cheapest way for a Byzantine
 // replica to disable Basil's fast path (paper §6.3: "Byzantine replicas,

@@ -146,9 +146,30 @@ type Verifier struct {
 	Cfg      Config
 	Sigs     *cryptoutil.SigVerifier
 	SignerOf SignerOf
+	// Pool, if non-nil, fans the signature checks of multi-reply
+	// validations (vote tallies, shard certificates) across its workers.
+	// Field consistency and duplicate detection stay sequential; only the
+	// ed25519 work parallelizes. Safe to share with the replica's ingest
+	// pool: batch verification falls back to inline execution when the
+	// pool is busy or closed.
+	Pool *cryptoutil.VerifyPool
 
 	mu        sync.Mutex
 	certCache map[certKey]bool
+}
+
+// allSigs runs n independent signature checks, in parallel when a pool is
+// attached, and reports whether all passed.
+func (v *Verifier) allSigs(n int, check func(i int) bool) bool {
+	if v.Pool == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			if !check(i) {
+				return false
+			}
+		}
+		return true
+	}
+	return v.Pool.All(n, check)
 }
 
 type certKey struct {
@@ -174,37 +195,64 @@ func (v *Verifier) cacheCert(id types.TxID, dec types.Decision) {
 	v.certCache[certKey{id, dec}] = true
 }
 
-// VerifyST1Reply checks one vote's signature and field consistency.
-func (v *Verifier) VerifyST1Reply(r *types.ST1Reply, id types.TxID) error {
+// checkST1Fields validates everything about a vote except its signature.
+func (v *Verifier) checkST1Fields(r *types.ST1Reply, id types.TxID) error {
 	if r.TxID != id {
 		return fmt.Errorf("%w: st1r for wrong tx", ErrBadCert)
 	}
 	if r.ReplicaID < 0 || int(r.ReplicaID) >= v.Cfg.N() {
 		return fmt.Errorf("%w: replica id %d out of range", ErrBadCert, r.ReplicaID)
 	}
-	sig := r.Sig
-	if sig.SignerID != v.SignerOf(r.ShardID, r.ReplicaID) {
+	if r.Sig.SignerID != v.SignerOf(r.ShardID, r.ReplicaID) {
 		return fmt.Errorf("%w: signer/replica mismatch", ErrBadCert)
 	}
-	if !v.Sigs.Verify(r.Payload(), &sig) {
+	return nil
+}
+
+// verifyST1Sig checks one vote's signature.
+func (v *Verifier) verifyST1Sig(r *types.ST1Reply) bool {
+	sig := r.Sig
+	return v.Sigs.Verify(r.Payload(), &sig)
+}
+
+// VerifyST1Reply checks one vote's signature and field consistency.
+func (v *Verifier) VerifyST1Reply(r *types.ST1Reply, id types.TxID) error {
+	if err := v.checkST1Fields(r, id); err != nil {
+		return err
+	}
+	if !v.verifyST1Sig(r) {
 		return fmt.Errorf("%w: bad st1r signature", ErrBadCert)
 	}
 	return nil
 }
 
-// VerifyST2Reply checks one logged-decision acknowledgement.
-func (v *Verifier) VerifyST2Reply(r *types.ST2Reply, id types.TxID) error {
+// checkST2Fields validates everything about an acknowledgement except its
+// signature.
+func (v *Verifier) checkST2Fields(r *types.ST2Reply, id types.TxID) error {
 	if r.TxID != id {
 		return fmt.Errorf("%w: st2r for wrong tx", ErrBadCert)
 	}
 	if r.ReplicaID < 0 || int(r.ReplicaID) >= v.Cfg.N() {
 		return fmt.Errorf("%w: replica id %d out of range", ErrBadCert, r.ReplicaID)
 	}
-	sig := r.Sig
-	if sig.SignerID != v.SignerOf(r.ShardID, r.ReplicaID) {
+	if r.Sig.SignerID != v.SignerOf(r.ShardID, r.ReplicaID) {
 		return fmt.Errorf("%w: signer/replica mismatch", ErrBadCert)
 	}
-	if !v.Sigs.Verify(r.Payload(), &sig) {
+	return nil
+}
+
+// verifyST2Sig checks one acknowledgement's signature.
+func (v *Verifier) verifyST2Sig(r *types.ST2Reply) bool {
+	sig := r.Sig
+	return v.Sigs.Verify(r.Payload(), &sig)
+}
+
+// VerifyST2Reply checks one logged-decision acknowledgement.
+func (v *Verifier) VerifyST2Reply(r *types.ST2Reply, id types.TxID) error {
+	if err := v.checkST2Fields(r, id); err != nil {
+		return err
+	}
+	if !v.verifyST2Sig(r) {
 		return fmt.Errorf("%w: bad st2r signature", ErrBadCert)
 	}
 	return nil
@@ -234,13 +282,16 @@ func (v *Verifier) VerifyShardCert(sc *types.ShardCert, id types.TxID) error {
 			} else if r.Decision != dec || r.ViewDecision != view {
 				return fmt.Errorf("%w: st2r decision/view mismatch", ErrBadCert)
 			}
-			if err := v.VerifyST2Reply(r, id); err != nil {
+			if err := v.checkST2Fields(r, id); err != nil {
 				return err
 			}
 			seen[r.ReplicaID] = true
 		}
 		if len(seen) < v.Cfg.LogQuorum() {
 			return fmt.Errorf("%w: %d st2r < log quorum %d", ErrBadCert, len(seen), v.Cfg.LogQuorum())
+		}
+		if !v.allSigs(len(sc.ST2Rs), func(i int) bool { return v.verifyST2Sig(&sc.ST2Rs[i]) }) {
+			return fmt.Errorf("%w: bad st2r signature", ErrBadCert)
 		}
 		want := types.DecisionCommit
 		if sc.Vote == types.VoteAbort {
@@ -279,13 +330,16 @@ func (v *Verifier) countST1(sc *types.ShardCert, id types.TxID, vote types.Vote,
 		if r.ShardID != sc.ShardID || r.Vote != vote || seen[r.ReplicaID] {
 			return fmt.Errorf("%w: inconsistent st1r set", ErrBadCert)
 		}
-		if err := v.VerifyST1Reply(r, id); err != nil {
+		if err := v.checkST1Fields(r, id); err != nil {
 			return err
 		}
 		seen[r.ReplicaID] = true
 	}
 	if len(seen) < need {
 		return fmt.Errorf("%w: %d votes < required %d", ErrBadCert, len(seen), need)
+	}
+	if !v.allSigs(len(sc.ST1Rs), func(i int) bool { return v.verifyST1Sig(&sc.ST1Rs[i]) }) {
+		return fmt.Errorf("%w: bad st1r signature", ErrBadCert)
 	}
 	return nil
 }
@@ -427,13 +481,16 @@ func (v *Verifier) verifyTallyVotes(t *types.VoteTally, id types.TxID, need int)
 		if r.ShardID != t.ShardID || r.Vote != t.Vote || seen[r.ReplicaID] {
 			return fmt.Errorf("%w: inconsistent tally", ErrBadCert)
 		}
-		if err := v.VerifyST1Reply(r, id); err != nil {
+		if err := v.checkST1Fields(r, id); err != nil {
 			return err
 		}
 		seen[r.ReplicaID] = true
 	}
 	if len(seen) < need {
 		return fmt.Errorf("%w: tally %d < %d", ErrBadCert, len(seen), need)
+	}
+	if !v.allSigs(len(t.Replies), func(i int) bool { return v.verifyST1Sig(&t.Replies[i]) }) {
+		return fmt.Errorf("%w: bad st1r signature in tally", ErrBadCert)
 	}
 	return nil
 }

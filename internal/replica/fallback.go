@@ -15,6 +15,10 @@ import (
 // the new view. A leader that gathers 4f+1 matching-view ballots proposes
 // the majority decision in a DECFB; replicas at or below that view adopt
 // it and answer interested clients with fresh ST2R messages.
+//
+// All signature verification happens before the transaction's state lock
+// is taken (or in onInvokeFB's tally-adoption case, with the lock dropped
+// around the check).
 
 // leaderFor returns the replica index of view's fallback leader: the
 // replica with id (view + idT mod n) mod n (paper §5 step 2).
@@ -46,20 +50,19 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 		views = append(views, st2r.ViewCurrent)
 	}
 
-	r.mu.Lock()
-	t := r.txLocked(m.TxID)
+	t := r.tx(m.TxID)
+	t.mu.Lock()
 	if t.meta == nil {
 		t.meta = m.Meta
 	}
 	t.interested[from] = m.ReqID
 
 	if t.finalized {
-		cert := r.store.Tx(m.TxID)
-		r.mu.Unlock()
-		if cert != nil && cert.Cert != nil {
+		t.mu.Unlock()
+		if rec, ok := r.store.Tx(m.TxID); ok && rec.Cert != nil {
 			r.send(from, &types.ST1Reply{
 				ReqID: m.ReqID, TxID: m.TxID, ShardID: r.cfg.Shard, ReplicaID: r.cfg.Index,
-				RPKind: types.RPCert, Cert: cert.Cert, CertMeta: cert.Meta,
+				RPKind: types.RPCert, Cert: rec.Cert, CertMeta: rec.Meta,
 			})
 		}
 		return
@@ -78,25 +81,22 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 
 	// A replica only casts ELECT-FB ballots once it has logged a decision
 	// (Lemma 5). A replica that missed the ST2 adopts the invoking
-	// client's decision after validating the attached tallies.
+	// client's decision after validating the attached tallies — with the
+	// state lock dropped around the crypto.
 	if !t.decisionLogged && m.Decision != types.DecisionNone && len(m.Tallies) > 0 {
-		meta := t.meta
-		view := t.viewCurrent
-		r.mu.Unlock()
-		if err := r.qv.VerifyTallyJustifies(meta, m.Decision, m.Tallies); err != nil {
+		t.mu.Unlock()
+		if err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies); err != nil {
 			return
 		}
-		r.mu.Lock()
-		t = r.txLocked(m.TxID)
+		t.mu.Lock()
 		if !t.decisionLogged {
 			t.decision = m.Decision
 			t.decisionLogged = true
 			t.viewDecision = 0
-			_ = view
 		}
 	}
 	if !t.decisionLogged {
-		r.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
 	ballot := &types.ElectFB{
@@ -108,7 +108,7 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 	}
 	leader := r.leaderFor(m.TxID, t.viewCurrent)
 	r.Stats.Elections.Add(1)
-	r.mu.Unlock()
+	t.mu.Unlock()
 
 	r.signThen(ballot.Payload(), func(sig types.Signature) {
 		ballot.Sig = sig
@@ -159,8 +159,8 @@ func (r *Replica) onElectFB(_ transport.Addr, m *types.ElectFB) {
 	if sig.SignerID != r.cfg.SignerOf(m.ShardID, m.ReplicaID) || !r.sv.Verify(m.Payload(), &sig) {
 		return
 	}
-	r.mu.Lock()
-	t := r.txLocked(m.TxID)
+	t := r.tx(m.TxID)
+	t.mu.Lock()
 	if t.ballots == nil {
 		t.ballots = make(map[uint64]map[int32]types.ElectFB)
 	}
@@ -170,12 +170,12 @@ func (r *Replica) onElectFB(_ transport.Addr, m *types.ElectFB) {
 		t.ballots[m.View] = byView
 	}
 	if _, dup := byView[m.ReplicaID]; dup {
-		r.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
 	byView[m.ReplicaID] = *m
 	if len(byView) < r.qc.ElectQuorum() {
-		r.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
 	// Elected: propose the majority decision among the ballots.
@@ -188,7 +188,7 @@ func (r *Replica) onElectFB(_ transport.Addr, m *types.ElectFB) {
 		}
 	}
 	delete(t.ballots, m.View) // propose at most once per view
-	r.mu.Unlock()
+	t.mu.Unlock()
 
 	dec := types.DecisionAbort
 	if commits*2 > len(elects) {
@@ -224,7 +224,8 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 		return
 	}
 	// Validate the election proof: 4f+1 distinct ballots with matching
-	// view, and the proposed decision must be their majority.
+	// view, and the proposed decision must be their majority. The ballot
+	// signatures fan across the verify pool after the cheap field pass.
 	seen := make(map[int32]bool)
 	commits := 0
 	for i := range m.Elects {
@@ -232,8 +233,7 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 		if e.TxID != m.TxID || e.ShardID != m.ShardID || e.View != m.View || seen[e.ReplicaID] {
 			return
 		}
-		esig := e.Sig
-		if esig.SignerID != r.cfg.SignerOf(e.ShardID, e.ReplicaID) || !r.sv.Verify(e.Payload(), &esig) {
+		if e.Sig.SignerID != r.cfg.SignerOf(e.ShardID, e.ReplicaID) {
 			return
 		}
 		seen[e.ReplicaID] = true
@@ -244,6 +244,12 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 	if len(seen) < r.qc.ElectQuorum() {
 		return
 	}
+	if !r.pool.All(len(m.Elects), func(i int) bool {
+		esig := m.Elects[i].Sig
+		return r.sv.Verify(m.Elects[i].Payload(), &esig)
+	}) {
+		return
+	}
 	major := types.DecisionAbort
 	if commits*2 > len(seen) {
 		major = types.DecisionCommit
@@ -252,26 +258,18 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 		return
 	}
 
-	r.mu.Lock()
-	t := r.txLocked(m.TxID)
+	t := r.tx(m.TxID)
+	t.mu.Lock()
 	if t.viewCurrent > m.View {
-		r.mu.Unlock()
+		t.mu.Unlock()
 		return // stale proposal from an older view
 	}
 	t.viewCurrent = m.View
 	t.decision = m.Decision
 	t.decisionLogged = true
 	t.viewDecision = m.View
-	interested := make(map[transport.Addr]uint64, len(t.interested))
-	for a, q := range t.interested {
-		interested[a] = q
-	}
-	r.mu.Unlock()
-
-	for addr, reqID := range interested {
-		r.mu.Lock()
-		t := r.txLocked(m.TxID)
+	for addr, reqID := range t.interested {
 		r.replyLoggedDecisionST2Locked(addr, reqID, t)
-		r.mu.Unlock()
 	}
+	t.mu.Unlock()
 }

@@ -8,7 +8,10 @@ import (
 
 // onST1 runs the Prepare-phase concurrency-control check (paper §4.2
 // step 2, Algorithm 1). A correct replica executes the check at most once
-// per transaction and stores its vote for duplicate and recovery requests.
+// per transaction — the first worker to claim checkStarted owns it — and
+// stores its vote for duplicate and recovery requests; duplicates that
+// arrive while the check is in flight queue as voteWaiters and are
+// answered when the vote resolves.
 func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 	if m.Meta == nil {
 		return
@@ -16,66 +19,78 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 	id := m.Meta.ID()
 	r.Stats.ST1s.Add(1)
 
-	r.mu.Lock()
-	t := r.txLocked(id)
+	t := r.tx(id)
+	t.mu.Lock()
 	if t.meta == nil {
 		t.meta = m.Meta
 	}
 	if m.Recovery {
 		t.interested[from] = m.ReqID
-	}
-	// Recovery fast-forward: if we already hold a certificate or a logged
-	// decision, return that instead of a plain vote (paper §5 common case).
-	if m.Recovery {
-		if rec := r.store.Tx(id); rec != nil && rec.Cert != nil &&
+		// Recovery fast-forward: if we already hold a certificate or a
+		// logged decision, return that instead of a plain vote (paper §5
+		// common case).
+		if rec, ok := r.store.Tx(id); ok && rec.Cert != nil &&
 			(rec.Status == store.StatusCommitted || rec.Status == store.StatusAborted) {
 			reply := &types.ST1Reply{
 				ReqID: m.ReqID, TxID: id, ShardID: r.cfg.Shard, ReplicaID: r.cfg.Index,
 				RPKind: types.RPCert, Cert: rec.Cert, CertMeta: rec.Meta,
 			}
-			r.mu.Unlock()
+			t.mu.Unlock()
 			// Certificates are self-authenticating; no signature needed.
 			r.send(from, reply)
 			return
 		}
 		if t.decisionLogged {
 			r.replyLoggedDecisionLocked(from, m.ReqID, t)
-			r.mu.Unlock()
-			return
+			// Fall through to the stage-1 vote as well: recovery must
+			// surface every artifact this replica holds. A client that
+			// finds only a minority of logged decisions cannot assemble an
+			// ST2 certificate from them, and without votes it could
+			// neither re-log the decision nor arm the fallback with
+			// justifying tallies — the transaction would be stuck for
+			// every recoverer.
 		}
 	}
 	if t.voteReady {
 		r.sendVoteLocked(from, m.ReqID, t)
-		r.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
-	if len(t.waitingOn) > 0 {
-		// Check already ran; still waiting on dependencies.
+	if t.checkStarted {
+		// The check is running on another worker or waiting on
+		// dependencies; owe this client a vote.
 		t.voteWaiters[from] = m.ReqID
-		r.mu.Unlock()
+		t.mu.Unlock()
 		return
 	}
-	r.mu.Unlock()
+	t.checkStarted = true
+	t.mu.Unlock()
 
+	// The check touches only the store (stripe-locked) — no protocol lock
+	// is held while it runs.
 	vote, conflict, conflictMeta, blockedBy, pendingDeps, depAborted := r.runCheck(m.Meta, id)
 
-	r.mu.Lock()
-	t = r.txLocked(id)
-	if t.voteReady { // raced with a duplicate
+	t.mu.Lock()
+	if t.voteReady {
+		// A writeback finalized the transaction while the check ran; the
+		// stored vote (derived from the outcome) wins.
 		r.sendVoteLocked(from, m.ReqID, t)
-		r.mu.Unlock()
+		r.flushVoteWaitersLocked(t)
+		t.mu.Unlock()
 		return
 	}
 	if vote == types.VoteCommit && len(pendingDeps) > 0 {
 		// Algorithm 1 line 15: defer the vote until dependencies decide.
 		r.Stats.DepWaits.Add(1)
 		t.voteWaiters[from] = m.ReqID
-		t.depAborted = depAborted
+		if depAborted {
+			t.depAborted = true
+		}
 		for _, dep := range pendingDeps {
 			t.waitingOn[dep] = true
-			r.depWaiters[dep] = append(r.depWaiters[dep], id)
 		}
-		r.mu.Unlock()
+		t.mu.Unlock()
+		r.registerDeps(id, pendingDeps)
 		return
 	}
 	if vote == types.VoteCommit && depAborted {
@@ -88,7 +103,40 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 		t.blockedBy = blockedBy
 	}
 	r.sendVoteLocked(from, m.ReqID, t)
+	r.flushVoteWaitersLocked(t)
+	t.mu.Unlock()
+}
+
+// registerDeps subscribes id to its pending dependencies' decisions, then
+// closes the registration race: a dependency that finalized between the
+// check and the registration will never fire another wakeup, so its
+// decision is resolved from store state immediately.
+func (r *Replica) registerDeps(id types.TxID, deps []types.TxID) {
+	r.mu.Lock()
+	for _, dep := range deps {
+		r.depWaiters[dep] = append(r.depWaiters[dep], id)
+	}
 	r.mu.Unlock()
+	for _, dep := range deps {
+		var dec types.Decision
+		switch r.store.TxStatusOf(dep) {
+		case store.StatusCommitted:
+			dec = types.DecisionCommit
+		case store.StatusAborted:
+			dec = types.DecisionAbort
+		default:
+			continue
+		}
+		// The dependency finalized before (or while) we registered, so its
+		// finalize pass has already consumed depWaiters[dep] and no future
+		// one will: drop the stale entry — every registrant re-checks after
+		// registering, so none of them needs it — and resolve from the
+		// store state directly.
+		r.mu.Lock()
+		delete(r.depWaiters, dep)
+		r.mu.Unlock()
+		r.resolveDependency(id, dep, dec)
+	}
 }
 
 // runCheck performs Algorithm 1 lines 1–14 and classifies dependencies.
@@ -105,8 +153,8 @@ func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *type
 	var pending []types.TxID
 	depAborted := false
 	for _, d := range meta.Deps {
-		rec := r.store.Tx(d.TxID)
-		if rec == nil || rec.Meta == nil || rec.Meta.Timestamp != d.Version {
+		rec, ok := r.store.Tx(d.TxID)
+		if !ok || rec.Meta == nil || rec.Meta.Timestamp != d.Version {
 			return types.VoteAbort, nil, nil, nil, nil, false
 		}
 		switch rec.Status {
@@ -132,7 +180,7 @@ func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *type
 	return types.VoteCommit, nil, nil, nil, pending, depAborted
 }
 
-// finishVoteLocked fixes the replica's stage-1 vote. Caller holds r.mu.
+// finishVoteLocked fixes the replica's stage-1 vote. Caller holds t.mu.
 func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.DecisionCert, conflictMeta *types.TxMeta) {
 	if t.voteReady || vote == types.VoteNone {
 		if !t.voteReady && vote == types.VoteNone {
@@ -166,7 +214,8 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 }
 
 // sendVoteLocked signs and sends the stored ST1 vote to one client.
-// Caller holds r.mu; the send happens on the batcher goroutine.
+// Caller holds t.mu; signing is enqueued to the batcher (which may run it
+// on this goroutine when it completes a batch or batching is off).
 func (r *Replica) sendVoteLocked(to transport.Addr, reqID uint64, t *txState) {
 	if !t.voteReady {
 		t.voteWaiters[to] = reqID
@@ -189,8 +238,20 @@ func (r *Replica) sendVoteLocked(to transport.Addr, reqID uint64, t *txState) {
 	})
 }
 
+// flushVoteWaitersLocked answers every client owed a vote. Caller holds
+// t.mu. No-op while the vote is still unresolved (or suppressed).
+func (r *Replica) flushVoteWaitersLocked(t *txState) {
+	if !t.voteReady || len(t.voteWaiters) == 0 {
+		return
+	}
+	for addr, reqID := range t.voteWaiters {
+		r.sendVoteLocked(addr, reqID, t)
+	}
+	t.voteWaiters = make(map[transport.Addr]uint64)
+}
+
 // replyLoggedDecisionLocked answers a recovery request with the signed
-// logged ST2 decision. Caller holds r.mu.
+// logged ST2 decision. Caller holds t.mu.
 func (r *Replica) replyLoggedDecisionLocked(to transport.Addr, reqID uint64, t *txState) {
 	st2r := &types.ST2Reply{
 		ReqID:        reqID,
@@ -213,9 +274,11 @@ func (r *Replica) replyLoggedDecisionLocked(to transport.Addr, reqID uint64, t *
 
 // onST2 logs the client's tentative 2PC decision on the logging shard
 // (paper §4.2 stage 2). The replica validates that the decision is
-// justified by the attached vote tallies; correct replicas never change a
-// logged decision within a view (equivocating clients therefore produce
-// divergent logs that only the fallback reconciles).
+// justified by the attached vote tallies before it creates or touches any
+// transaction state — the signature checks run on this worker (fanned
+// through the verify pool), never under a protocol lock. Correct replicas
+// never change a logged decision within a view (equivocating clients
+// therefore produce divergent logs that only the fallback reconciles).
 func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 	if m.Meta == nil || m.Meta.ID() != m.TxID {
 		return
@@ -224,33 +287,40 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 		return // not the logging shard for this transaction
 	}
 	r.Stats.ST2s.Add(1)
-	r.mu.Lock()
-	t := r.txLocked(m.TxID)
+	if !r.cfg.AllowUnvalidatedST2 && !r.decisionLoggedFor(m.TxID) {
+		if err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies); err != nil {
+			return
+		}
+	}
+	t := r.tx(m.TxID)
+	t.mu.Lock()
 	if t.meta == nil {
 		t.meta = m.Meta
 	}
 	t.interested[from] = m.ReqID
-	if !t.decisionLogged {
-		r.mu.Unlock()
-		// Validate outside the lock: signature checks are expensive.
-		if !r.cfg.AllowUnvalidatedST2 {
-			if err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies); err != nil {
-				return
-			}
-		}
-		r.mu.Lock()
-		t = r.txLocked(m.TxID)
-		if !t.decisionLogged && t.viewCurrent <= m.View {
-			t.decision = m.Decision
-			t.decisionLogged = true
-			t.viewDecision = m.View
-		}
+	if !t.decisionLogged && t.viewCurrent <= m.View {
+		t.decision = m.Decision
+		t.decisionLogged = true
+		t.viewDecision = m.View
 	}
 	r.replyLoggedDecisionST2Locked(from, m.ReqID, t)
-	r.mu.Unlock()
+	t.mu.Unlock()
 }
 
-// replyLoggedDecisionST2Locked sends a plain ST2R. Caller holds r.mu.
+// decisionLoggedFor reports whether a decision is already logged for id —
+// re-delivered ST2s for a logged transaction skip tally re-validation and
+// just get the stored decision back.
+func (r *Replica) decisionLoggedFor(id types.TxID) bool {
+	t := r.peekTx(id)
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.decisionLogged
+}
+
+// replyLoggedDecisionST2Locked sends a plain ST2R. Caller holds t.mu.
 func (r *Replica) replyLoggedDecisionST2Locked(to transport.Addr, reqID uint64, t *txState) {
 	if !t.decisionLogged {
 		return
@@ -272,7 +342,8 @@ func (r *Replica) replyLoggedDecisionST2Locked(to transport.Addr, reqID uint64, 
 
 // onWriteback applies a decision certificate (paper §4.3 step 2): validate,
 // finalize the store, wake dependent transactions, and notify interested
-// recovery clients.
+// recovery clients. The certificate is validated before any state exists
+// for the transaction.
 func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
 	if m.Meta == nil || m.Cert == nil || m.Meta.ID() != m.TxID || m.Cert.TxID != m.TxID {
 		return
@@ -291,8 +362,8 @@ func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
 // dependency waits.
 func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) {
 	changed := r.store.Finalize(id, meta, dec, cert)
-	r.mu.Lock()
-	t := r.txLocked(id)
+	t := r.tx(id)
+	t.mu.Lock()
 	if t.meta == nil {
 		t.meta = meta
 	}
@@ -306,14 +377,19 @@ func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision
 		}
 		t.voteReady = true
 	}
-	var waiters []types.TxID
-	if changed || first {
-		waiters = r.depWaiters[id]
-		delete(r.depWaiters, id)
-	}
+	// Clients whose ST1 raced the writeback get their (derived) vote now.
+	r.flushVoteWaitersLocked(t)
 	interested := t.interested
 	t.interested = make(map[transport.Addr]uint64)
-	r.mu.Unlock()
+	t.mu.Unlock()
+
+	var waiters []types.TxID
+	if changed || first {
+		r.mu.Lock()
+		waiters = r.depWaiters[id]
+		delete(r.depWaiters, id)
+		r.mu.Unlock()
+	}
 
 	// Notify clients that were recovering this transaction.
 	for addr, reqID := range interested {
@@ -332,12 +408,15 @@ func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision
 }
 
 // resolveDependency marks dep decided for the waiting transaction and, if
-// it was the last one, fixes and broadcasts the vote.
+// it was the last one, fixes the vote and answers the queued clients.
 func (r *Replica) resolveDependency(waiter, dep types.TxID, dec types.Decision) {
-	r.mu.Lock()
-	t := r.txs[waiter]
-	if t == nil || t.voteReady {
-		r.mu.Unlock()
+	t := r.peekTx(waiter)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.voteReady {
 		return
 	}
 	delete(t.waitingOn, dep)
@@ -345,7 +424,6 @@ func (r *Replica) resolveDependency(waiter, dep types.TxID, dec types.Decision) 
 		t.depAborted = true
 	}
 	if len(t.waitingOn) > 0 {
-		r.mu.Unlock()
 		return
 	}
 	vote := types.VoteCommit
@@ -354,13 +432,5 @@ func (r *Replica) resolveDependency(waiter, dep types.TxID, dec types.Decision) 
 		vote = types.VoteAbort
 	}
 	r.finishVoteLocked(t, vote, nil, nil)
-	waitersCopy := make(map[transport.Addr]uint64, len(t.voteWaiters))
-	for a, q := range t.voteWaiters {
-		waitersCopy[a] = q
-	}
-	t.voteWaiters = make(map[transport.Addr]uint64)
-	for addr, reqID := range waitersCopy {
-		r.sendVoteLocked(addr, reqID, t)
-	}
-	r.mu.Unlock()
+	r.flushVoteWaitersLocked(t)
 }

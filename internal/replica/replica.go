@@ -3,6 +3,30 @@
 // two-stage Prepare protocol (ST1 votes, ST2 decision logging), writeback
 // application, Merkle-batched reply signing (paper §4.4), and the
 // per-transaction fallback protocol (paper §5).
+//
+// Concurrency model. Deliver hands every message to a bounded worker pool
+// (Config.VerifyWorkers), so signature verification — the dominant CPU
+// cost — and the striped store run in parallel across messages; the
+// paper's claim that BFT transaction processing keeps the parallelism of
+// non-BFT OCC stores depends on exactly this. Handlers therefore run
+// concurrently and synchronize at three levels, never taken in the
+// reverse order:
+//
+//  1. txState.mu — one mutex per transaction guards its protocol state
+//     (vote, logged decision, views, ballots, waiters).
+//  2. Replica.mu — guards only the txs and depWaiters maps.
+//  3. store locks — internal to the store (stripes plus a narrow global
+//     lock, see internal/store); store calls are leaves and may be made
+//     while holding txState.mu.
+//
+// Signature verification — the dominant crypto cost — never runs under any
+// of these: handlers validate certificates and tallies before touching
+// protocol state, and batch checks fan out through the same pool
+// (quorum.Verifier.Pool) with inline fallback. Reply *signing* is enqueued
+// to the batcher from inside txState critical sections; with BatchSize=1
+// (or on the enqueue that completes a batch) the signature is computed on
+// the enqueueing goroutine, so a hot transaction's own replies serialize
+// behind its lock — per transaction, never across transactions.
 package replica
 
 import (
@@ -32,6 +56,15 @@ type Config struct {
 	// (paper §4.4). BatchSize 1 disables batching.
 	BatchSize  int
 	BatchDelay time.Duration
+
+	// VerifyWorkers sizes the ingest worker pool that verifies signatures
+	// and runs message handlers concurrently. 0 defaults to GOMAXPROCS;
+	// 1 reproduces the old serial message loop.
+	VerifyWorkers int
+	// Stripes is the store's per-key lock-stripe count. 0 defaults to
+	// store.DefaultStripes; 1 degenerates to a single key lock (the
+	// pre-striping baseline the parallel experiment compares against).
+	Stripes int
 
 	Clock    clock.Clock
 	Registry *cryptoutil.Registry
@@ -63,10 +96,17 @@ type ByzantineStrategy interface {
 }
 
 // txState is the replica's per-transaction protocol state beyond the
-// store's version bookkeeping.
+// store's version bookkeeping. Each transaction has its own lock; handlers
+// for different transactions never contend on it.
 type txState struct {
+	mu sync.Mutex
+
 	id   types.TxID
 	meta *types.TxMeta
+
+	// checkStarted marks that some worker owns the (at most one) MVTSO
+	// check for this transaction; later duplicates queue as voteWaiters.
+	checkStarted bool
 
 	// Stage-1 vote, once determined. Correct replicas never change it.
 	vote         types.Vote
@@ -123,16 +163,22 @@ type Replica struct {
 	sv      *cryptoutil.SigVerifier
 	qv      *quorum.Verifier
 	store   *store.Store
+	pool    *cryptoutil.VerifyPool
 
 	// shardAddrs is the static membership of this replica's shard, the
 	// tos slice for whole-shard broadcasts.
 	shardAddrs []transport.Addr
 
+	// mu guards only the two maps below; per-transaction state is behind
+	// each txState's own mutex.
 	mu  sync.Mutex
 	txs map[types.TxID]*txState
 	// depWaiters: transaction id -> ids of transactions whose vote waits
 	// on its decision.
 	depWaiters map[types.TxID][]types.TxID
+
+	closed    atomic.Bool
+	closeOnce sync.Once
 
 	Stats Stats
 }
@@ -148,19 +194,24 @@ func New(cfg Config) *Replica {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
+	stripes := cfg.Stripes
+	if stripes <= 0 {
+		stripes = store.DefaultStripes
+	}
 	r := &Replica{
 		cfg:        cfg,
 		qc:         quorum.Config{F: cfg.F},
 		addr:       transport.ReplicaAddr(cfg.Shard, cfg.Index),
 		signer:     cfg.Registry.Signer(cfg.SignerID),
 		sv:         cryptoutil.NewSigVerifier(cfg.Registry, 4096),
-		store:      store.New(),
+		store:      store.NewStriped(stripes),
+		pool:       cryptoutil.NewVerifyPool(cfg.VerifyWorkers),
 		txs:        make(map[types.TxID]*txState),
 		depWaiters: make(map[types.TxID][]types.TxID),
 	}
 	r.shardAddrs = transport.ShardAddrs(cfg.Shard, r.qc.N())
 	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
-	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf}
+	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf, Pool: r.pool}
 	cfg.Net.Register(r.addr, r)
 	return r
 }
@@ -171,16 +222,37 @@ func (r *Replica) Addr() transport.Addr { return r.addr }
 // Store exposes the underlying store (examples, tests, GC drivers).
 func (r *Replica) Store() *store.Store { return r.store }
 
-// Close flushes the reply batcher.
-func (r *Replica) Close() { r.batcher.Close() }
+// Close drains the ingest pool (every in-flight handler completes) and
+// then flushes the reply batcher. Messages delivered after Close — late
+// duplicates are routine in an asynchronous network — are dropped without
+// touching the closed pool or batcher. Idempotent.
+func (r *Replica) Close() {
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		r.pool.Close()
+		r.batcher.Close()
+	})
+}
 
 // LoadGenesis installs a key's initial value outside the protocol.
 func (r *Replica) LoadGenesis(key string, value []byte) {
 	r.store.ApplyGenesis(key, value)
 }
 
-// Deliver implements transport.Handler: the replica's single message loop.
+// Deliver implements transport.Handler: each message is dispatched onto
+// the worker pool, so crypto-heavy validation and disjoint-key store
+// operations from different messages proceed in parallel. Per-sender FIFO
+// is deliberately not preserved — the protocol already tolerates an
+// asynchronous, reordering network.
 func (r *Replica) Deliver(from transport.Addr, msg any) {
+	if r.closed.Load() {
+		return
+	}
+	r.pool.Go(func() { r.dispatch(from, msg) })
+}
+
+// dispatch routes one message to its handler on a pool worker.
+func (r *Replica) dispatch(from transport.Addr, msg any) {
 	switch m := msg.(type) {
 	case *types.ReadRequest:
 		r.onRead(from, m)
@@ -201,9 +273,11 @@ func (r *Replica) Deliver(from transport.Addr, msg any) {
 	}
 }
 
-// tx returns (creating if needed) the protocol state for id.
-// Caller must hold r.mu.
-func (r *Replica) txLocked(id types.TxID) *txState {
+// tx returns (creating if needed) the protocol state for id. It takes
+// only the map lock; callers lock the returned state themselves.
+func (r *Replica) tx(id types.TxID) *txState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	t := r.txs[id]
 	if t == nil {
 		t = &txState{
@@ -215,6 +289,13 @@ func (r *Replica) txLocked(id types.TxID) *txState {
 		r.txs[id] = t
 	}
 	return t
+}
+
+// peekTx returns the state for id without creating it.
+func (r *Replica) peekTx(id types.TxID) *txState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.txs[id]
 }
 
 // send is a convenience wrapper.

@@ -3,15 +3,41 @@
 // uncommitted) writes, reader records, and read timestamps (RTS), plus the
 // serializability portion of the MVTSO-Check (Algorithm 1 steps 3–6).
 //
-// The store is a passive data structure guarded by one mutex; the replica
-// layer supplies timestamps-bound checks, dependency waiting and votes.
+// Concurrency model. The store is sharded into a fixed array of lock
+// stripes hashed by key, so prepares and reads on disjoint keys run truly
+// in parallel. Three lock levels exist, always acquired in this order:
+//
+//  1. global (RWMutex) — held shared by every per-key operation (Read,
+//     DropRTS, CheckAndPrepare, ApplyGenesis, LatestCommitted, Tx lookups)
+//     and exclusively by the cross-key operations that mutate transaction
+//     records or walk every key (Finalize, RemovePrepared, GC,
+//     StatsSnapshot). Holding it exclusively implies exclusive access to
+//     all stripes and the transaction table.
+//  2. stripe mutexes — per-key state (version chains, readers, RTS).
+//     Multi-key operations (CheckAndPrepare) lock all involved stripes in
+//     ascending index order, making the check-and-install atomic without a
+//     store-wide critical section.
+//  3. txMu — the transaction table. Only the map itself needs it: fields
+//     of a published TxRecord are mutated solely under the exclusive
+//     global lock, so shared-lock holders may read them freely after the
+//     map lookup.
+//
+// All locks are leaf-level with respect to the replica layer: no store
+// method calls back out while holding any of them.
 package store
 
 import (
+	"hash/maphash"
+	"sort"
 	"sync"
 
 	"repro/internal/types"
 )
+
+// DefaultStripes is the stripe count used by New. It comfortably exceeds
+// any plausible GOMAXPROCS so disjoint-key workloads rarely collide, while
+// keeping the fixed per-store footprint trivial.
+const DefaultStripes = 64
 
 // TxStatus tracks a transaction's lifecycle at this replica.
 type TxStatus uint8
@@ -59,36 +85,119 @@ type keyEntry struct {
 	maxRTS types.Timestamp
 }
 
-// Store is one shard's multiversioned state at one replica.
-type Store struct {
+// stripe is one lock-striped slice of the key space.
+type stripe struct {
 	mu   sync.Mutex
 	keys map[string]*keyEntry
+}
+
+// Store is one shard's multiversioned state at one replica.
+type Store struct {
+	global  sync.RWMutex
+	stripes []stripe
+	seed    maphash.Seed
+
+	// txMu is an RWMutex because the table is read-mostly and shared by
+	// every stripe: version-chain scans look up writer records per entry,
+	// and a plain mutex here would re-serialize the striped read path.
+	txMu sync.RWMutex
 	txns map[types.TxID]*TxRecord
 }
 
-// New creates an empty store.
-func New() *Store {
-	return &Store{
-		keys: make(map[string]*keyEntry),
-		txns: make(map[types.TxID]*TxRecord),
+// New creates an empty store with DefaultStripes lock stripes.
+func New() *Store { return NewStriped(DefaultStripes) }
+
+// NewStriped creates an empty store with n lock stripes (rounded up to a
+// power of two; n < 1 means 1, which degenerates to a single key lock —
+// the pre-striping baseline the parallel benchmarks compare against).
+func NewStriped(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Store{
+		stripes: make([]stripe, pow),
+		seed:    maphash.MakeSeed(),
+		txns:    make(map[types.TxID]*TxRecord),
+	}
+	for i := range s.stripes {
+		s.stripes[i].keys = make(map[string]*keyEntry)
+	}
+	return s
+}
+
+// Stripes returns the stripe count (observability for tests/experiments).
+func (s *Store) Stripes() int { return len(s.stripes) }
+
+// stripeIdx hashes k onto a stripe index.
+func (s *Store) stripeIdx(k string) int {
+	return int(maphash.String(s.seed, k) & uint64(len(s.stripes)-1))
+}
+
+func (s *Store) stripeOf(k string) *stripe { return &s.stripes[s.stripeIdx(k)] }
+
+// entry returns (creating if needed) k's entry. Caller holds st's mutex.
+func (st *stripe) entry(k string) *keyEntry {
+	e := st.keys[k]
+	if e == nil {
+		e = &keyEntry{rts: make(map[types.Timestamp]int)}
+		st.keys[k] = e
+	}
+	return e
+}
+
+// lockStripes locks the stripes covering every key in meta's read and
+// write sets, in ascending index order (the deadlock-free total order),
+// and returns the locked indices for unlockStripes.
+func (s *Store) lockStripes(meta *types.TxMeta) []int {
+	idxs := make([]int, 0, len(meta.ReadSet)+len(meta.WriteSet))
+	for _, r := range meta.ReadSet {
+		idxs = append(idxs, s.stripeIdx(r.Key))
+	}
+	for _, w := range meta.WriteSet {
+		idxs = append(idxs, s.stripeIdx(w.Key))
+	}
+	sort.Ints(idxs)
+	out := idxs[:0]
+	last := -1
+	for _, i := range idxs {
+		if i != last {
+			out = append(out, i)
+			last = i
+		}
+	}
+	for _, i := range out {
+		s.stripes[i].mu.Lock()
+	}
+	return out
+}
+
+func (s *Store) unlockStripes(idxs []int) {
+	for _, i := range idxs {
+		s.stripes[i].mu.Unlock()
 	}
 }
 
-func (s *Store) key(k string) *keyEntry {
-	e := s.keys[k]
-	if e == nil {
-		e = &keyEntry{rts: make(map[types.Timestamp]int)}
-		s.keys[k] = e
-	}
-	return e
+// txLookup returns the record for id under the shared table lock.
+func (s *Store) txLookup(id types.TxID) *TxRecord {
+	s.txMu.RLock()
+	rec := s.txns[id]
+	s.txMu.RUnlock()
+	return rec
 }
 
 // ApplyGenesis installs the load-time value of key at the zero timestamp.
 // Genesis versions carry no certificate and are trusted by all nodes.
 func (s *Store) ApplyGenesis(k string, value []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.key(k)
+	s.global.RLock()
+	defer s.global.RUnlock()
+	st := s.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entry(k)
 	rec := writeRec{value: value, committed: true}
 	if len(e.writes) > 0 && e.writes[0].ver.IsZero() {
 		e.writes[0] = rec
@@ -132,17 +241,19 @@ func (e *keyEntry) removeReadersBy(tx types.TxID) {
 
 // ReadResult carries the replica's two read branches (paper §4.1 step 2).
 type ReadResult struct {
-	Committed      *types.CommittedRead
-	Prepared       *types.PreparedRead
-	PreparedWriter *TxRecord
+	Committed *types.CommittedRead
+	Prepared  *types.PreparedRead
 }
 
 // Read returns the latest committed and latest prepared versions of key
 // with timestamps strictly below ts, and records ts in the key's RTS set.
 func (s *Store) Read(k string, ts types.Timestamp) ReadResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.key(k)
+	s.global.RLock()
+	defer s.global.RUnlock()
+	st := s.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entry(k)
 	// Record the read timestamp.
 	e.rts[ts]++
 	if e.maxRTS.Less(ts) {
@@ -156,7 +267,7 @@ func (s *Store) Read(k string, ts types.Timestamp) ReadResult {
 		}
 		if w.committed {
 			if res.Committed == nil {
-				rec := s.txns[w.writer]
+				rec := s.txLookup(w.writer)
 				cr := &types.CommittedRead{Value: w.value}
 				if rec != nil {
 					cr.WriterMeta = rec.Meta
@@ -169,10 +280,9 @@ func (s *Store) Read(k string, ts types.Timestamp) ReadResult {
 			break
 		}
 		if res.Prepared == nil {
-			rec := s.txns[w.writer]
+			rec := s.txLookup(w.writer)
 			if rec != nil && rec.Status == StatusPrepared {
 				res.Prepared = &types.PreparedRead{Value: w.value, WriterMeta: rec.Meta}
-				res.PreparedWriter = rec
 			}
 		}
 	}
@@ -182,23 +292,30 @@ func (s *Store) Read(k string, ts types.Timestamp) ReadResult {
 // DropRTS releases one reference of ts from each key (client Abort during
 // execution, paper §4.1).
 func (s *Store) DropRTS(keys []string, ts types.Timestamp) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.global.RLock()
+	defer s.global.RUnlock()
 	for _, k := range keys {
-		e := s.keys[k]
-		if e == nil {
-			continue
+		st := s.stripeOf(k)
+		st.mu.Lock()
+		if e := st.keys[k]; e != nil {
+			e.dropRTS(ts)
 		}
-		if n := e.rts[ts]; n > 1 {
-			e.rts[ts] = n - 1
-		} else {
-			delete(e.rts, ts)
-			if ts == e.maxRTS {
-				e.maxRTS = types.Timestamp{}
-				for t := range e.rts {
-					if e.maxRTS.Less(t) {
-						e.maxRTS = t
-					}
+		st.mu.Unlock()
+	}
+}
+
+// dropRTS releases one reference of ts from e, recomputing maxRTS if the
+// released reference was the last of the maximum.
+func (e *keyEntry) dropRTS(ts types.Timestamp) {
+	if n := e.rts[ts]; n > 1 {
+		e.rts[ts] = n - 1
+	} else if n == 1 {
+		delete(e.rts, ts)
+		if ts == e.maxRTS {
+			e.maxRTS = types.Timestamp{}
+			for t := range e.rts {
+				if e.maxRTS.Less(t) {
+					e.maxRTS = t
 				}
 			}
 		}
@@ -240,20 +357,24 @@ type CheckResult struct {
 // CheckAndPrepare runs Algorithm 1 lines 5–14 atomically: validates the
 // read set against newer writes, the write set against validated readers
 // and outstanding RTS, and on success makes the transaction's writes
-// visible as prepared versions.
+// visible as prepared versions. Atomicity comes from holding every
+// involved key's stripe for the whole check-and-install; transactions on
+// disjoint stripes proceed in parallel.
 func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec := s.txns[id]; rec != nil {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	if s.txLookup(id) != nil {
 		return CheckResult{Outcome: CheckDuplicate}
 	}
+	locked := s.lockStripes(meta)
+	defer s.unlockStripes(locked)
 	ts := meta.Timestamp
 	// Lines 5–8: reads must not have missed a write.
 	for _, r := range meta.ReadSet {
 		if ts.Less(r.Version) || ts == r.Version {
 			return CheckResult{Outcome: CheckMisbehavior}
 		}
-		e := s.keys[r.Key]
+		e := s.stripeOf(r.Key).keys[r.Key]
 		if e == nil {
 			continue
 		}
@@ -264,7 +385,7 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 		for _, w := range e.writes {
 			if r.Version.Less(w.ver) && w.ver.Less(ts) {
 				res := CheckResult{Outcome: CheckAbort}
-				if rec := s.txns[w.writer]; rec != nil {
+				if rec := s.txLookup(w.writer); rec != nil {
 					if w.committed && rec.Cert != nil {
 						res.Conflict = rec.Cert
 						res.ConflictMeta = rec.Meta
@@ -279,14 +400,14 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 	// Lines 9–13: writes must not invalidate validated readers or
 	// outstanding reads.
 	for _, w := range meta.WriteSet {
-		e := s.keys[w.Key]
+		e := s.stripeOf(w.Key).keys[w.Key]
 		if e == nil {
 			continue
 		}
 		for _, rd := range e.readers {
 			if rd.readVer.Less(ts) && ts.Less(rd.readerTs) {
 				res := CheckResult{Outcome: CheckAbort}
-				if rec := s.txns[rd.reader]; rec != nil {
+				if rec := s.txLookup(rd.reader); rec != nil {
 					if rec.Status == StatusCommitted && rec.Cert != nil {
 						res.Conflict = rec.Cert
 						res.ConflictMeta = rec.Meta
@@ -302,14 +423,23 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 			return CheckResult{Outcome: CheckAbort}
 		}
 	}
-	// Line 14: prepare and make writes visible.
+	// Line 14: prepare and make writes visible. The record is fully built
+	// before publication; the publish re-checks for a duplicate so two
+	// concurrent deliveries of a keyless transaction (no stripe to
+	// serialize on) cannot both install.
 	rec := &TxRecord{Meta: meta, Status: StatusPrepared}
+	s.txMu.Lock()
+	if s.txns[id] != nil {
+		s.txMu.Unlock()
+		return CheckResult{Outcome: CheckDuplicate}
+	}
 	s.txns[id] = rec
+	s.txMu.Unlock()
 	for _, w := range meta.WriteSet {
-		s.key(w.Key).insertWrite(writeRec{ver: ts, value: w.Value, writer: id})
+		s.stripeOf(w.Key).entry(w.Key).insertWrite(writeRec{ver: ts, value: w.Value, writer: id})
 	}
 	for _, r := range meta.ReadSet {
-		e := s.key(r.Key)
+		e := s.stripeOf(r.Key).entry(r.Key)
 		e.readers = append(e.readers, readRec{readerTs: ts, readVer: r.Version, reader: id})
 		// The transaction has been validated; its execution-time RTS
 		// reservation is superseded by the reader record.
@@ -326,9 +456,13 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 // writes become committed versions (installing meta's writes even if the
 // transaction was never prepared here, e.g. a writeback received by a
 // replica that missed ST1). It returns true if the status changed.
+//
+// Finalize is a cross-key operation and takes the global lock exclusively:
+// it is the only mutator of published TxRecord fields, which lets every
+// shared-lock holder read records without per-record locking.
 func (s *Store) Finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.global.Lock()
+	defer s.global.Unlock()
 	rec := s.txns[id]
 	if rec == nil {
 		rec = &TxRecord{Meta: meta}
@@ -352,7 +486,7 @@ func (s *Store) Finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, 
 		wasPrepared := false
 		if rec.Meta != nil {
 			for _, w := range rec.Meta.WriteSet {
-				e := s.key(w.Key)
+				e := s.stripeOf(w.Key).entry(w.Key)
 				found := false
 				for i := range e.writes {
 					if e.writes[i].writer == id {
@@ -370,7 +504,7 @@ func (s *Store) Finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, 
 				// Install reader records too so future conflicting writes
 				// are caught (line 10) even on replicas that skipped ST1.
 				for _, r := range rec.Meta.ReadSet {
-					e := s.key(r.Key)
+					e := s.stripeOf(r.Key).entry(r.Key)
 					e.readers = append(e.readers, readRec{readerTs: rec.Meta.Timestamp, readVer: r.Version, reader: id})
 				}
 			}
@@ -379,12 +513,12 @@ func (s *Store) Finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, 
 		rec.Status = StatusAborted
 		if rec.Meta != nil {
 			for _, w := range rec.Meta.WriteSet {
-				if e := s.keys[w.Key]; e != nil {
+				if e := s.stripeOf(w.Key).keys[w.Key]; e != nil {
 					e.removeWritesBy(id)
 				}
 			}
 			for _, r := range rec.Meta.ReadSet {
-				if e := s.keys[r.Key]; e != nil {
+				if e := s.stripeOf(r.Key).keys[r.Key]; e != nil {
 					e.removeReadersBy(id)
 				}
 			}
@@ -397,20 +531,20 @@ func (s *Store) Finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, 
 // line 17: a replica that votes abort after dependency resolution removes
 // the transaction from the prepared set). No-op unless id is prepared.
 func (s *Store) RemovePrepared(id types.TxID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.global.Lock()
+	defer s.global.Unlock()
 	rec := s.txns[id]
 	if rec == nil || rec.Status != StatusPrepared {
 		return
 	}
 	if rec.Meta != nil {
 		for _, w := range rec.Meta.WriteSet {
-			if e := s.keys[w.Key]; e != nil {
+			if e := s.stripeOf(w.Key).keys[w.Key]; e != nil {
 				e.removeWritesBy(id)
 			}
 		}
 		for _, r := range rec.Meta.ReadSet {
-			if e := s.keys[r.Key]; e != nil {
+			if e := s.stripeOf(r.Key).keys[r.Key]; e != nil {
 				e.removeReadersBy(id)
 			}
 		}
@@ -418,18 +552,24 @@ func (s *Store) RemovePrepared(id types.TxID) {
 	delete(s.txns, id)
 }
 
-// Tx returns the record for id, or nil.
-func (s *Store) Tx(id types.TxID) *TxRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.txns[id]
+// Tx returns a snapshot of the record for id. The second result reports
+// whether the transaction is known. A copy (not the live pointer) is
+// returned because record fields are mutated under the store's exclusive
+// lock, which callers do not hold.
+func (s *Store) Tx(id types.TxID) (TxRecord, bool) {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	if rec := s.txLookup(id); rec != nil {
+		return *rec, true
+	}
+	return TxRecord{}, false
 }
 
 // TxStatusOf returns the lifecycle status of id.
 func (s *Store) TxStatusOf(id types.TxID) TxStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec := s.txns[id]; rec != nil {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	if rec := s.txLookup(id); rec != nil {
 		return rec.Status
 	}
 	return StatusUnknown
@@ -438,9 +578,12 @@ func (s *Store) TxStatusOf(id types.TxID) TxStatus {
 // LatestCommitted returns the newest committed version of key, for
 // debugging and example tooling.
 func (s *Store) LatestCommitted(k string) (types.Timestamp, []byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.keys[k]
+	s.global.RLock()
+	defer s.global.RUnlock()
+	st := s.stripeOf(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.keys[k]
 	if e == nil {
 		return types.Timestamp{}, nil, false
 	}
@@ -457,42 +600,44 @@ func (s *Store) LatestCommitted(k string) (types.Timestamp, []byte, bool) {
 // at or below it per key. Prepared writes are never collected. Returns the
 // number of records dropped.
 func (s *Store) GC(watermark types.Timestamp) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.global.Lock()
+	defer s.global.Unlock()
 	dropped := 0
-	for _, e := range s.keys {
-		// Find the newest committed version ≤ watermark; keep it.
-		keepIdx := -1
-		for i := len(e.writes) - 1; i >= 0; i-- {
-			if e.writes[i].committed && !watermark.Less(e.writes[i].ver) {
-				keepIdx = i
-				break
+	for si := range s.stripes {
+		for _, e := range s.stripes[si].keys {
+			// Find the newest committed version ≤ watermark; keep it.
+			keepIdx := -1
+			for i := len(e.writes) - 1; i >= 0; i-- {
+				if e.writes[i].committed && !watermark.Less(e.writes[i].ver) {
+					keepIdx = i
+					break
+				}
 			}
-		}
-		if keepIdx > 0 {
-			out := e.writes[:0]
-			for i, w := range e.writes {
-				if i < keepIdx && w.committed && w.ver.Less(e.writes[keepIdx].ver) {
+			if keepIdx > 0 {
+				out := e.writes[:0]
+				for i, w := range e.writes {
+					if i < keepIdx && w.committed && w.ver.Less(e.writes[keepIdx].ver) {
+						dropped++
+						continue
+					}
+					out = append(out, w)
+				}
+				e.writes = out
+			}
+			rd := e.readers[:0]
+			for _, r := range e.readers {
+				if r.readerTs.Less(watermark) {
 					dropped++
 					continue
 				}
-				out = append(out, w)
+				rd = append(rd, r)
 			}
-			e.writes = out
-		}
-		rd := e.readers[:0]
-		for _, r := range e.readers {
-			if r.readerTs.Less(watermark) {
-				dropped++
-				continue
-			}
-			rd = append(rd, r)
-		}
-		e.readers = rd
-		for ts := range e.rts {
-			if ts.Less(watermark) {
-				delete(e.rts, ts)
-				dropped++
+			e.readers = rd
+			for ts := range e.rts {
+				if ts.Less(watermark) {
+					delete(e.rts, ts)
+					dropped++
+				}
 			}
 		}
 	}
@@ -513,14 +658,16 @@ type Stats struct {
 
 // StatsSnapshot returns current sizes.
 func (s *Store) StatsSnapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.global.Lock()
+	defer s.global.Unlock()
 	var st Stats
-	st.Keys = len(s.keys)
-	for _, e := range s.keys {
-		st.Versions += len(e.writes)
-		st.Readers += len(e.readers)
-		st.RTS += len(e.rts)
+	for si := range s.stripes {
+		st.Keys += len(s.stripes[si].keys)
+		for _, e := range s.stripes[si].keys {
+			st.Versions += len(e.writes)
+			st.Readers += len(e.readers)
+			st.RTS += len(e.rts)
+		}
 	}
 	st.Txns = len(s.txns)
 	for _, r := range s.txns {

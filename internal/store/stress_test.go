@@ -1,0 +1,232 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// checkInvariants validates the store's internal consistency. It is the
+// oracle of the concurrent stress battery and runs after the storm (no
+// concurrent mutators), so it may walk internals freely.
+func (s *Store) checkInvariants() error {
+	// RTS monotone: maxRTS dominates every outstanding RTS entry.
+	for si := range s.stripes {
+		for k, e := range s.stripes[si].keys {
+			for ts := range e.rts {
+				if e.maxRTS.Less(ts) {
+					return fmt.Errorf("key %q: rts %v above maxRTS %v", k, ts, e.maxRTS)
+				}
+			}
+			// Version chains sorted strictly ascending.
+			for i := 1; i < len(e.writes); i++ {
+				if !e.writes[i-1].ver.Less(e.writes[i].ver) {
+					return fmt.Errorf("key %q: version chain out of order at %d", k, i)
+				}
+			}
+			// Keys live on the stripe their hash selects.
+			if s.stripeIdx(k) != si {
+				return fmt.Errorf("key %q on stripe %d, hashes to %d", k, si, s.stripeIdx(k))
+			}
+		}
+	}
+	// Prepared/committed/aborted sets consistent with per-key state.
+	for id, rec := range s.txns {
+		if rec.Meta == nil {
+			continue
+		}
+		for _, w := range rec.Meta.WriteSet {
+			e := s.stripeOf(w.Key).keys[w.Key]
+			var found *writeRec
+			if e != nil {
+				for i := range e.writes {
+					if e.writes[i].writer == id {
+						found = &e.writes[i]
+						break
+					}
+				}
+			}
+			switch rec.Status {
+			case StatusPrepared:
+				if found == nil || found.committed {
+					return fmt.Errorf("tx %v prepared but write on %q missing or committed", id, w.Key)
+				}
+			case StatusCommitted:
+				if found == nil || !found.committed {
+					// GC may legitimately have collected an old committed
+					// version; only flag it if a newer committed version of
+					// the key does not exist.
+					newer := false
+					if e != nil {
+						for i := range e.writes {
+							if e.writes[i].committed && rec.Meta.Timestamp.Less(e.writes[i].ver) {
+								newer = true
+							}
+						}
+					}
+					if !newer {
+						return fmt.Errorf("tx %v committed but write on %q lost", id, w.Key)
+					}
+				}
+			case StatusAborted:
+				if found != nil {
+					return fmt.Errorf("tx %v aborted but write on %q survived", id, w.Key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stressModel tracks, per goroutine, what the storm committed; merged
+// after the join it is the ground truth reads are checked against.
+type stressModel struct {
+	mu        sync.Mutex
+	committed []*types.TxMeta
+}
+
+func (m *stressModel) commit(meta *types.TxMeta) {
+	m.mu.Lock()
+	m.committed = append(m.committed, meta)
+	m.mu.Unlock()
+}
+
+// TestStoreConcurrentStress hammers one store from many goroutines with
+// interleaved Read/CheckAndPrepare/Finalize/RemovePrepared/DropRTS/GC on
+// overlapping keys, then asserts the invariants the replica layer relies
+// on: no committed write lost, RTS bounded by maxRTS, and the prepared set
+// consistent with the per-key version chains. Run it under -race (it is
+// part of `make test-race`): the interleavings, not the assertions, are
+// the point.
+func TestStoreConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 400
+		nKeys   = 16
+	)
+	for _, stripes := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("stripes=%d", stripes), func(t *testing.T) {
+			s := NewStriped(stripes)
+			keys := make([]string, nKeys)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%02d", i)
+				s.ApplyGenesis(keys[i], []byte{0})
+			}
+			var model stressModel
+			var clock struct {
+				mu sync.Mutex
+				t  uint64
+			}
+			nextTs := func(worker int) types.Timestamp {
+				clock.mu.Lock()
+				clock.t++
+				ts := types.Timestamp{Time: clock.t, ClientID: uint64(worker + 1)}
+				clock.mu.Unlock()
+				return ts
+			}
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				rng := rand.New(rand.NewSource(int64(w)*7919 + 13))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						ts := nextTs(w)
+						switch op := rng.Intn(10); {
+						case op < 2: // plain read, sometimes released
+							k := keys[rng.Intn(nKeys)]
+							s.Read(k, ts)
+							if rng.Intn(2) == 0 {
+								s.DropRTS([]string{k}, ts)
+							}
+						case op < 9: // transaction attempt
+							m := &types.TxMeta{Timestamp: ts, Shards: []int32{0}}
+							for _, ki := range rng.Perm(nKeys)[:1+rng.Intn(3)] {
+								k := keys[ki]
+								res := s.Read(k, ts)
+								var ver types.Timestamp
+								if res.Committed != nil {
+									ver = res.Committed.Version()
+								}
+								m.ReadSet = append(m.ReadSet, types.ReadEntry{Key: k, Version: ver})
+							}
+							for _, ki := range rng.Perm(nKeys)[:1+rng.Intn(2)] {
+								m.WriteSet = append(m.WriteSet,
+									types.WriteEntry{Key: keys[ki], Value: []byte{byte(w + 1), byte(i)}})
+							}
+							id := m.ID()
+							if s.CheckAndPrepare(m, id).Outcome != CheckOK {
+								for _, r := range m.ReadSet {
+									s.DropRTS([]string{r.Key}, ts)
+								}
+								continue
+							}
+							switch rng.Intn(6) {
+							case 0:
+								s.Finalize(id, m, types.DecisionAbort, nil)
+							case 1:
+								s.RemovePrepared(id)
+							case 2:
+								// Leave prepared: an undecided transaction
+								// must survive the storm intact.
+							default:
+								s.Finalize(id, m, types.DecisionCommit, nil)
+								model.commit(m)
+							}
+						case op == 9: // background maintenance
+							if rng.Intn(2) == 0 {
+								s.GC(types.Timestamp{Time: ts.Time / 2})
+							} else {
+								s.StatsSnapshot()
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			if err := s.checkInvariants(); err != nil {
+				t.Fatalf("invariant violated after storm: %v", err)
+			}
+			// No committed write lost: per key, the newest committed write in
+			// the model must be exactly what LatestCommitted serves.
+			bestByKey := make(map[string]*types.TxMeta)
+			for _, m := range model.committed {
+				for _, w := range m.WriteSet {
+					if cur := bestByKey[w.Key]; cur == nil || cur.Timestamp.Less(m.Timestamp) {
+						bestByKey[w.Key] = m
+					}
+				}
+			}
+			for k, m := range bestByKey {
+				ver, val, ok := s.LatestCommitted(k)
+				if !ok {
+					t.Fatalf("key %q: committed write at %v lost entirely", k, m.Timestamp)
+				}
+				if ver != m.Timestamp {
+					t.Fatalf("key %q: latest committed %v, model says %v", k, ver, m.Timestamp)
+				}
+				var want []byte
+				for _, w := range m.WriteSet {
+					if w.Key == k {
+						want = w.Value
+					}
+				}
+				if string(val) != string(want) {
+					t.Fatalf("key %q: committed value diverged", k)
+				}
+			}
+			// Every model commit is recorded committed.
+			for _, m := range model.committed {
+				if s.TxStatusOf(m.ID()) != StatusCommitted {
+					t.Fatalf("committed tx %v not committed in store", m.ID())
+				}
+			}
+		})
+	}
+}
