@@ -1,0 +1,95 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// awaitReply drains ch until a reply for id arrives.
+func awaitReply(t *testing.T, ch <-chan *types.ST1Reply, id types.TxID) *types.ST1Reply {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case rep := <-ch:
+			if rep.TxID == id {
+				return rep
+			}
+		case <-deadline:
+			t.Fatalf("no ST1 reply for %x", id[:4])
+		}
+	}
+}
+
+// TestStaleDepWaiterListResolvedNotDropped reproduces the lost-wakeup race
+// between finalize and registerDeps. X's vote is deferred on dependency D
+// (its depWaiters entry registered, its post-registration re-check saw
+// StatusPrepared). D's decision then becomes visible in the store before
+// finalize consumes depWaiters[D]; in that window a second registrant's
+// re-check sees D decided and pops the stale waiter list. It must resolve
+// every waiter it pops — dropping X's entry would leave X's vote stalled
+// forever, since finalize's own pass then finds an empty list.
+func TestStaleDepWaiterListResolvedNotDropped(t *testing.T) {
+	r, net := newTestReplica(t, 1)
+	defer net.Close()
+	defer r.Close()
+	client := transport.ClientAddr(9)
+	replies := make(chan *types.ST1Reply, 16)
+	net.Register(client, transport.HandlerFunc(func(_ transport.Addr, msg any) {
+		if rep, ok := msg.(*types.ST1Reply); ok {
+			replies <- rep
+		}
+	}))
+
+	// D: the dependency, prepared (commit vote, decision still pending).
+	// onST1 is called directly so the whole check runs synchronously.
+	depMsg := st1For("d", 10)
+	depID := depMsg.Meta.ID()
+	r.onST1(client, depMsg)
+	awaitReply(t, replies, depID)
+
+	// X: depends on D with a disjoint write set; its commit vote defers.
+	xMeta := &types.TxMeta{
+		Timestamp: types.Timestamp{Time: 20, ClientID: 9},
+		WriteSet:  []types.WriteEntry{{Key: "x", Value: []byte("v")}},
+		Deps:      []types.Dependency{{TxID: depID, Version: depMsg.Meta.Timestamp}},
+		Shards:    []int32{0},
+	}
+	xID := xMeta.ID()
+	r.onST1(client, &types.ST1Request{ReqID: 2, ClientID: 9, Meta: xMeta})
+	st := r.peekTx(xID)
+	if st == nil {
+		t.Fatal("setup: no txState for X")
+	}
+	st.mu.Lock()
+	deferred := !st.voteReady && st.waitingOn[depID]
+	st.mu.Unlock()
+	if !deferred {
+		t.Fatal("setup: X's vote was not deferred on D")
+	}
+
+	// The race window: D's decision is published in the store — visible to
+	// any registerDeps re-check — but finalize() has not yet consumed
+	// depWaiters[D].
+	r.store.Finalize(depID, depMsg.Meta, types.DecisionCommit, nil)
+
+	// A late registrant Y re-checks, sees D decided, and pops the stale
+	// waiter list that still carries X's entry.
+	var yID types.TxID
+	yID[0] = 0xEE
+	r.registerDeps(yID, []types.TxID{depID})
+
+	rep := awaitReply(t, replies, xID)
+	if rep.Vote != types.VoteCommit {
+		t.Fatalf("X resolved with vote %v, want commit", rep.Vote)
+	}
+	r.mu.Lock()
+	left := len(r.depWaiters[depID])
+	r.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("depWaiters[D] still holds %d entries after resolution", left)
+	}
+}

@@ -127,15 +127,31 @@ func (r *Replica) registerDeps(id types.TxID, deps []types.TxID) {
 		default:
 			continue
 		}
-		// The dependency finalized before (or while) we registered, so its
-		// finalize pass has already consumed depWaiters[dep] and no future
-		// one will: drop the stale entry — every registrant re-checks after
-		// registering, so none of them needs it — and resolve from the
-		// store state directly.
+		// The dependency finalized before (or while) we registered, so no
+		// future finalize pass will consume depWaiters[dep]: pop whatever is
+		// there and resolve every waiter from the store state directly. The
+		// list may hold other registrants whose own re-check raced the
+		// finalize the other way (saw StatusPrepared before the status was
+		// published) — dropping their entries without resolving them would
+		// stall their votes forever. resolveDependency is idempotent under
+		// the voteReady guard, so double-resolving a waiter that finalize
+		// also saw is harmless.
 		r.mu.Lock()
+		stale := r.depWaiters[dep]
 		delete(r.depWaiters, dep)
 		r.mu.Unlock()
-		r.resolveDependency(id, dep, dec)
+		resolvedSelf := false
+		for _, w := range stale {
+			r.resolveDependency(w, dep, dec)
+			if w == id {
+				resolvedSelf = true
+			}
+		}
+		if !resolvedSelf {
+			// finalize popped our entry (and will resolve it), but resolving
+			// here too costs nothing and keeps this path self-contained.
+			r.resolveDependency(id, dep, dec)
+		}
 	}
 }
 

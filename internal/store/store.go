@@ -442,12 +442,12 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 		e := s.stripeOf(r.Key).entry(r.Key)
 		e.readers = append(e.readers, readRec{readerTs: ts, readVer: r.Version, reader: id})
 		// The transaction has been validated; its execution-time RTS
-		// reservation is superseded by the reader record.
-		if n := e.rts[ts]; n > 1 {
-			e.rts[ts] = n - 1
-		} else if n == 1 {
-			delete(e.rts, ts)
-		}
+		// reservation is superseded by the reader record. dropRTS also
+		// recomputes maxRTS when the last reference at ts is released, so
+		// the coarse line-12 filter tracks live reads instead of the
+		// highest-ever read timestamp (which would spuriously abort every
+		// lower-timestamped writer on a hot key forever).
+		e.dropRTS(ts)
 	}
 	return CheckResult{Outcome: CheckOK}
 }

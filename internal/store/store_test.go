@@ -180,6 +180,32 @@ func TestHigherTimestampWriterUnaffectedByRTS(t *testing.T) {
 	}
 }
 
+func TestPrepareReleasesRTSMaximum(t *testing.T) {
+	// When a reader's prepare consumes its execution-time RTS reservation,
+	// maxRTS must be recomputed from the remaining live reads — not stay
+	// pinned at the highest-ever read timestamp. Otherwise the coarse
+	// line-12 filter spuriously aborts every writer below that watermark
+	// forever, even ones the precise reader-record check admits
+	// (write ts < readVer).
+	s := New()
+	w30 := meta(ts(30, 1), nil, map[string]string{"x": "v30"})
+	mustPrepare(t, s, w30)
+	s.Finalize(w30.ID(), w30, types.DecisionCommit, nil)
+
+	// Reader at ts 50 reads version 30, then prepares (read-only on x).
+	s.Read("x", ts(50, 2))
+	rd := meta(ts(50, 2), map[string]types.Timestamp{"x": ts(30, 1)}, map[string]string{"y": "v"})
+	mustPrepare(t, s, rd)
+
+	// A writer at ts 10 does not invalidate the ts-50 read of version 30
+	// (10 < 30), and no live read remains outstanding — it must be
+	// admitted.
+	w10 := meta(ts(10, 3), nil, map[string]string{"x": "v10"})
+	if res := s.CheckAndPrepare(w10, w10.ID()); res.Outcome != CheckOK {
+		t.Fatalf("expected OK after reader prepared, got %v", res.Outcome)
+	}
+}
+
 func TestDuplicatePrepareDetected(t *testing.T) {
 	s := New()
 	m := meta(ts(5, 1), nil, map[string]string{"x": "v"})
