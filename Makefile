@@ -23,10 +23,13 @@ test:
 
 # Transport concurrency (writer goroutines, background dialing, SendAll
 # body sharing), client reply collection, the replica's parallel ingest
-# pipeline and the striped store must stay race-clean; this runs as part
-# of `make check` so regressions are caught locally.
+# pipeline, the striped store, and the WAL's group-commit flusher must
+# stay race-clean; the crash-restart battery (race-scaled via the
+# raceEnabled build tag) rides along so durability regressions are
+# caught locally. Runs as part of `make check`.
 test-race:
-	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/
+	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/
+	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica'
 
 # The transport and codec tests are required to pass under the race
 # detector (per-connection writer goroutines, reverse-route eviction).
@@ -35,10 +38,14 @@ race:
 
 # Perf trajectory: the parallel-pipeline prepare benchmarks (recorded to
 # BENCH_parallel.json at GOMAXPROCS=4 with exactly-twice message delivery;
-# see internal/store/parallel_bench_test.go for what each side models) and
-# the wire-path benchmarks.
+# see internal/store/parallel_bench_test.go for what each side models),
+# the WAL group-commit sweep (recorded to BENCH_wal.json — the fsync
+# amortization curve across appender counts and flush windows), and the
+# wire-path benchmarks.
 bench:
 	$(GO) test ./internal/store/ -run TestWriteParallelBench -parallelbench $(CURDIR)/BENCH_parallel.json -v -count=1
+	$(GO) test ./internal/wal/ -run TestWriteWALBench -walbench $(CURDIR)/BENCH_wal.json -v -count=1
 	GOMAXPROCS=4 $(GO) test ./internal/store/ -run xxx -bench 'BenchmarkPrepare' -benchtime=2000x
+	$(GO) test ./internal/wal/ -run xxx -bench BenchmarkWALAppend -benchtime=1000x
 	$(GO) test ./internal/types/ -run xxx -bench BenchmarkWireCodec
 	$(GO) test ./internal/transport/ -run xxx -bench 'BenchmarkTCPTransport|BenchmarkTCPBroadcast'

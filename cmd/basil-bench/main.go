@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -107,6 +107,11 @@ func main() {
 	if run("parallel") {
 		any = true
 		t := benchharness.FigParallel(scale)
+		t.Render(out)
+	}
+	if run("durability") {
+		any = true
+		t := benchharness.FigDurability(scale)
 		t.Render(out)
 	}
 	if !any {

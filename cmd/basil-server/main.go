@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/quorum"
@@ -42,6 +43,9 @@ func main() {
 	maxFrame := flag.Int("maxframe", 16<<20, "largest wire frame in bytes, sent or accepted; must be identical on every node of the deployment (a frame one node sends but another rejects kills the connection)")
 	verifyWorkers := flag.Int("verify-workers", 0, "ingest worker pool size: signature verification and message handling run concurrently on this many workers (0 = GOMAXPROCS, 1 = serial message loop)")
 	stripes := flag.Int("stripes", 0, "store lock-stripe count; prepares on disjoint key stripes run in parallel (0 = default, 1 = single global key lock)")
+	dataDir := flag.String("data-dir", "", "durability directory: stage-1 votes and logged decisions hit a write-ahead log here before any reply, and a restarted server rejoins with its promises intact (empty = in-memory only)")
+	walWindow := flag.Duration("wal-window", 0, "WAL group-commit window; concurrent prepares within it share one fsync (0 = default 200µs)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint cadence with -data-dir: GC below a clock-derived watermark and snapshot, bounding log and memory growth (0 = never)")
 	flag.Parse()
 
 	shard, index, err := parseReplica(*which)
@@ -63,21 +67,30 @@ func main() {
 	reg := cryptoutil.NewRegistry(cryptoutil.SchemeEd25519, *shards*n, *seed)
 	signerOf := quorum.SignerOf(func(s, i int32) int32 { return s*int32(n) + i })
 
-	r := replica.New(replica.Config{
+	r, err := replica.Restore(replica.Config{
 		Shard: shard, Index: index, F: *f,
-		DeltaMicros:   60_000_000,
-		BatchSize:     *batch,
-		VerifyWorkers: *verifyWorkers,
-		Stripes:       *stripes,
-		Registry:      reg,
-		SignerID:      signerOf(shard, index),
-		SignerOf:      signerOf,
-		Net:           net,
-	})
+		DeltaMicros:     60_000_000,
+		BatchSize:       *batch,
+		VerifyWorkers:   *verifyWorkers,
+		Stripes:         *stripes,
+		WALFlushDelay:   *walWindow,
+		CheckpointEvery: *ckptEvery,
+		Registry:        reg,
+		SignerID:        signerOf(shard, index),
+		SignerOf:        signerOf,
+		Net:             net,
+	}, *dataDir)
+	if err != nil {
+		log.Fatalf("restore %s: %v", *dataDir, err)
+	}
 	defer r.Close()
 
-	fmt.Printf("basil-server: replica %d.%d listening on %s (n=%d, %d shards)\n",
-		shard, index, net.ListenAddr(), n, *shards)
+	durable := "in-memory"
+	if *dataDir != "" {
+		durable = "wal at " + *dataDir
+	}
+	fmt.Printf("basil-server: replica %d.%d listening on %s (n=%d, %d shards, %s)\n",
+		shard, index, net.ListenAddr(), n, *shards, durable)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,406 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Durability (WAL integration).
+//
+// The safety argument assumes a replica remembers what it promised: a
+// stage-1 vote or a logged ST2 decision it replied with must survive a
+// restart, or an honest-but-crashed replica becomes indistinguishable
+// from an equivocating Byzantine one. Three record types capture exactly
+// the externalized promises:
+//
+//	vote     — the fixed stage-1 vote plus the transaction metadata
+//	           (commit votes also reinstate the prepared set on replay)
+//	decision — the logged ST2 decision and its view
+//	final    — a proven writeback (decision + certificate)
+//
+// Discipline: every record is durably appended (group-committed fsync)
+// BEFORE the reply it justifies is sent; the append happens inside the
+// same txState critical section that fixes the state, so no concurrent
+// reader can observe-and-reply ahead of the disk. If an append ever
+// fails, the replica goes mute (walFailed) — fail-stop, never
+// fail-equivocate.
+//
+// Restart: Restore replays the newest checkpoint (store snapshot + the
+// replica's per-transaction promises) and the log suffix. Prepared
+// entries without a durably logged vote are withdrawn — the vote was
+// never sent, so re-running the check later is safe — and the store's
+// RTS floor is raised to the largest replayed timestamp, a conservative
+// stand-in for the RTS entries a crash erases (writers below it abort;
+// the reads they could have invalidated may still be in flight).
+
+// WAL record tags.
+const (
+	walRecVote     = 1
+	walRecDecision = 2
+	walRecFinal    = 3
+)
+
+// logVoteLocked durably appends t's fixed vote. Caller holds t.mu; the
+// group-commit wait happens under it, stalling only this transaction's
+// traffic for at most the flush window. Returns false (and mutes the
+// replica) if the record could not be made durable.
+func (r *Replica) logVoteLocked(t *txState) bool {
+	if r.wal == nil {
+		return true
+	}
+	b := make([]byte, 0, 256)
+	b = append(b, walRecVote)
+	b = append(b, t.id[:]...)
+	b = append(b, byte(t.vote))
+	b = walMetaOpt(b, t.meta)
+	return r.walAppend(b)
+}
+
+// logDecisionLocked durably appends t's logged ST2 decision. Caller
+// holds t.mu.
+func (r *Replica) logDecisionLocked(t *txState) bool {
+	if r.wal == nil {
+		return true
+	}
+	b := make([]byte, 0, 256)
+	b = append(b, walRecDecision)
+	b = append(b, t.id[:]...)
+	b = append(b, byte(t.decision))
+	b = binary.BigEndian.AppendUint64(b, t.viewDecision)
+	b = walMetaOpt(b, t.meta)
+	return r.walAppend(b)
+}
+
+// logFinal durably appends a proven decision before it is applied.
+func (r *Replica) logFinal(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) bool {
+	if r.wal == nil {
+		return true
+	}
+	b := make([]byte, 0, 512)
+	b = append(b, walRecFinal)
+	b = append(b, id[:]...)
+	b = append(b, byte(dec))
+	b = walMetaOpt(b, meta)
+	b = types.AppendDecisionCert(b, cert)
+	return r.walAppend(b)
+}
+
+// walAppend appends one record, muting the replica on failure: state may
+// then be ahead of disk, but nothing further externalizes it.
+func (r *Replica) walAppend(rec []byte) bool {
+	if err := r.wal.Append(rec); err != nil {
+		r.walFailed.Store(true)
+		return false
+	}
+	return true
+}
+
+func walMetaOpt(b []byte, m *types.TxMeta) []byte {
+	if m == nil {
+		return append(b, 0)
+	}
+	return m.AppendCanonical(append(b, 1))
+}
+
+// replay rebuilds protocol state from what Open recovered. It runs
+// before the replica is registered on the network, so no locks contend.
+func (r *Replica) replay(recov *wal.Recovered) error {
+	var maxTs types.Timestamp
+	bump := func(ts types.Timestamp) {
+		if maxTs.Less(ts) {
+			maxTs = ts
+		}
+	}
+	if len(recov.Snapshot) > 0 {
+		rest, m, err := r.store.Restore(recov.Snapshot)
+		if err != nil {
+			return err
+		}
+		bump(m)
+		if err := r.restoreTxSection(rest); err != nil {
+			return err
+		}
+	}
+	for i, raw := range recov.Records {
+		ts, err := r.applyRecord(raw)
+		if err != nil {
+			return fmt.Errorf("replica: wal record %d: %w", i, err)
+		}
+		bump(ts)
+	}
+	// Withdraw prepared entries with no durably logged vote: the check
+	// passed pre-crash but the vote never reached disk, hence was never
+	// sent — a fresh ST1 may safely re-run the check from scratch.
+	for _, id := range r.store.PreparedIDs() {
+		t := r.peekTx(id)
+		if t == nil {
+			r.store.RemovePrepared(id)
+			continue
+		}
+		t.mu.Lock()
+		unpromised := !t.voteReady && !t.decisionLogged
+		if unpromised {
+			t.checkStarted = false
+		}
+		t.mu.Unlock()
+		if unpromised {
+			r.store.RemovePrepared(id)
+		}
+	}
+	r.store.SetRTSFloor(maxTs)
+	return nil
+}
+
+// applyRecord replays one WAL record, returning the largest timestamp it
+// carries (for the restart RTS floor). Records are idempotent against
+// the snapshot: the checkpoint rotates first and snapshots second, so
+// the kept suffix may overlap state already restored.
+func (r *Replica) applyRecord(raw []byte) (types.Timestamp, error) {
+	if len(raw) < 1+32+1 {
+		return types.Timestamp{}, types.ErrTruncated
+	}
+	tag := raw[0]
+	var id types.TxID
+	copy(id[:], raw[1:33])
+	rest := raw[33:]
+	var ts types.Timestamp
+
+	switch tag {
+	case walRecVote:
+		vote := types.Vote(rest[0])
+		meta, _, err := walDecodeMetaOpt(rest[1:])
+		if err != nil {
+			return ts, err
+		}
+		if meta != nil {
+			ts = meta.Timestamp
+		}
+		t := r.tx(id)
+		t.mu.Lock()
+		if t.meta == nil {
+			t.meta = meta
+		}
+		if !t.voteReady {
+			t.checkStarted = true
+			t.vote = vote
+			t.voteReady = true
+			if vote == types.VoteCommit && meta != nil {
+				r.store.RestorePrepared(meta, id)
+			}
+		}
+		t.mu.Unlock()
+
+	case walRecDecision:
+		if len(rest) < 1+8 {
+			return ts, types.ErrTruncated
+		}
+		dec := types.Decision(rest[0])
+		view := binary.BigEndian.Uint64(rest[1:9])
+		meta, _, err := walDecodeMetaOpt(rest[9:])
+		if err != nil {
+			return ts, err
+		}
+		if meta != nil {
+			ts = meta.Timestamp
+		}
+		t := r.tx(id)
+		t.mu.Lock()
+		if t.meta == nil {
+			t.meta = meta
+		}
+		// Records replay in append order; the last logged decision (the
+		// highest view adopted pre-crash) wins, exactly as it did live.
+		t.decision = dec
+		t.decisionLogged = true
+		t.viewDecision = view
+		if t.viewCurrent < view {
+			t.viewCurrent = view
+		}
+		t.mu.Unlock()
+
+	case walRecFinal:
+		dec := types.Decision(rest[0])
+		meta, after, err := walDecodeMetaOpt(rest[1:])
+		if err != nil {
+			return ts, err
+		}
+		cert, _, err := types.DecodeDecisionCert(after)
+		if err != nil {
+			return ts, err
+		}
+		if meta != nil {
+			ts = meta.Timestamp
+		}
+		r.store.Finalize(id, meta, dec, cert)
+		t := r.tx(id)
+		t.mu.Lock()
+		if t.meta == nil {
+			t.meta = meta
+		}
+		t.finalized = true
+		if !t.voteReady {
+			t.checkStarted = true
+			t.vote = types.VoteCommit
+			if dec == types.DecisionAbort {
+				t.vote = types.VoteAbort
+			}
+			t.voteReady = true
+		}
+		t.mu.Unlock()
+
+	default:
+		return ts, fmt.Errorf("unknown record tag %d", tag)
+	}
+	return ts, nil
+}
+
+func walDecodeMetaOpt(b []byte) (*types.TxMeta, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, types.ErrTruncated
+	}
+	if b[0] == 0 {
+		return nil, b[1:], nil
+	}
+	return types.DecodeTxMeta(b[1:])
+}
+
+// --- checkpointing ---
+
+// Checkpoint garbage-collects state below the watermark and writes a
+// durable snapshot superseding the log so far; replay becomes snapshot +
+// suffix. The watermark must trail every timestamp still in flight (see
+// store.GC); the periodic loop uses now − 2δ.
+func (r *Replica) Checkpoint(watermark types.Timestamp) error {
+	if r.wal == nil {
+		return nil
+	}
+	r.store.GC(watermark)
+	return r.wal.Checkpoint(func() []byte {
+		// Drain finalizes that logged their record before the rotation
+		// but have not applied it to the store yet — otherwise that
+		// record is pruned and the outcome misses the snapshot too. New
+		// finalizes log into the kept suffix, so fuzzy capture past this
+		// fence is safe (replay is idempotent).
+		r.applyMu.Lock()
+		r.applyMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+		b := r.store.Snapshot(nil)
+		return r.appendTxSnapshot(b)
+	})
+}
+
+// appendTxSnapshot appends the replica's per-transaction promises (fixed
+// votes, logged decisions, views) for transactions not yet finalized —
+// finalized outcomes live in the store section. The capture is fuzzy
+// against concurrent handlers, which is safe: anything promised after
+// the checkpoint's rotation is also in the kept log suffix, and replay
+// is idempotent across the overlap.
+func (r *Replica) appendTxSnapshot(b []byte) []byte {
+	r.mu.Lock()
+	states := make([]*txState, 0, len(r.txs))
+	for _, t := range r.txs {
+		states = append(states, t)
+	}
+	r.mu.Unlock()
+
+	var body []byte
+	n := 0
+	for _, t := range states {
+		t.mu.Lock()
+		keep := (t.voteReady || t.decisionLogged) && !t.finalized
+		if keep {
+			body = append(body, t.id[:]...)
+			var flags byte
+			if t.voteReady {
+				flags |= 1
+			}
+			if t.decisionLogged {
+				flags |= 2
+			}
+			body = append(body, flags, byte(t.vote), byte(t.decision))
+			body = binary.BigEndian.AppendUint64(body, t.viewDecision)
+			body = binary.BigEndian.AppendUint64(body, t.viewCurrent)
+			body = walMetaOpt(body, t.meta)
+			n++
+		}
+		t.mu.Unlock()
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(n))
+	return append(b, body...)
+}
+
+// restoreTxSection rebuilds txStates from a checkpoint's replica section.
+func (r *Replica) restoreTxSection(b []byte) error {
+	if len(b) < 4 {
+		return types.ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	for i := 0; i < n; i++ {
+		if len(b) < 32+3+16 {
+			return types.ErrTruncated
+		}
+		var id types.TxID
+		copy(id[:], b)
+		flags, vote, dec := b[32], types.Vote(b[33]), types.Decision(b[34])
+		viewDec := binary.BigEndian.Uint64(b[35:])
+		viewCur := binary.BigEndian.Uint64(b[43:])
+		meta, rest, err := walDecodeMetaOpt(b[51:])
+		if err != nil {
+			return err
+		}
+		b = rest
+		t := r.tx(id)
+		t.mu.Lock()
+		t.meta = meta
+		if flags&1 != 0 {
+			t.checkStarted = true
+			t.vote = vote
+			t.voteReady = true
+		}
+		if flags&2 != 0 {
+			t.decision = dec
+			t.decisionLogged = true
+		}
+		t.viewDecision = viewDec
+		t.viewCurrent = viewCur
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// checkpointLoop checkpoints every cfg.CheckpointEvery, with the
+// watermark trailing the clock by 2δ — below any timestamp admission
+// could still accept and any in-flight transaction could still carry.
+func (r *Replica) checkpointLoop() {
+	defer r.ckptWG.Done()
+	tick := time.NewTicker(r.cfg.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.ckptStop:
+			return
+		case <-tick.C:
+			now := r.cfg.Clock.NowMicros()
+			margin := 2 * r.cfg.DeltaMicros
+			if now <= margin {
+				continue
+			}
+			if err := r.Checkpoint(types.Timestamp{Time: now - margin}); err != nil && err != wal.ErrClosed {
+				r.walFailed.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// WALStats exposes the append/sync counters (observability; nil-safe).
+func (r *Replica) WALStats() wal.Stats {
+	if r.wal == nil {
+		return wal.Stats{}
+	}
+	return r.wal.StatsSnapshot()
+}

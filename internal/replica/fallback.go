@@ -93,6 +93,11 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 			t.decision = m.Decision
 			t.decisionLogged = true
 			t.viewDecision = 0
+			if !r.logDecisionLocked(t) {
+				t.decisionLogged = false
+				t.mu.Unlock()
+				return
+			}
 		}
 	}
 	if !t.decisionLogged {
@@ -264,10 +269,16 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 		t.mu.Unlock()
 		return // stale proposal from an older view
 	}
+	prevDec, prevLogged, prevViewDec := t.decision, t.decisionLogged, t.viewDecision
 	t.viewCurrent = m.View
 	t.decision = m.Decision
 	t.decisionLogged = true
 	t.viewDecision = m.View
+	if !r.logDecisionLocked(t) {
+		t.decision, t.decisionLogged, t.viewDecision = prevDec, prevLogged, prevViewDec
+		t.mu.Unlock()
+		return
+	}
 	for addr, reqID := range t.interested {
 		r.replyLoggedDecisionST2Locked(addr, reqID, t)
 	}

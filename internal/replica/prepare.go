@@ -196,13 +196,19 @@ func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *type
 	return types.VoteCommit, nil, nil, nil, pending, depAborted
 }
 
-// finishVoteLocked fixes the replica's stage-1 vote. Caller holds t.mu.
+// finishVoteLocked fixes the replica's stage-1 vote, making it durable
+// before any reply can carry it: the WAL append (group-committed) runs
+// under t.mu, and every reply path reads the vote under the same lock,
+// so a vote that reaches the wire is always already on disk. Caller
+// holds t.mu.
 func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.DecisionCert, conflictMeta *types.TxMeta) {
 	if t.voteReady || vote == types.VoteNone {
 		if !t.voteReady && vote == types.VoteNone {
 			// Duplicate outcome without a stored vote can only happen if
 			// the transaction was finalized straight from a writeback;
-			// derive the vote from the final status.
+			// derive the vote from the final status. The finalize record
+			// already made the outcome durable, so no separate vote
+			// record is needed.
 			switch r.store.TxStatusOf(t.id) {
 			case store.StatusCommitted:
 				t.vote, t.voteReady = types.VoteCommit, true
@@ -222,6 +228,13 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 	t.voteReady = true
 	t.voteConflict = conflict
 	t.conflictMeta = conflictMeta
+	if !r.logVoteLocked(t) {
+		// The promise never reached disk; withdraw it so no reply is
+		// sent. The replica is mute from here on (fail-stop).
+		t.vote, t.voteReady = types.VoteNone, false
+		t.voteConflict, t.conflictMeta = nil, nil
+		return
+	}
 	if vote == types.VoteCommit {
 		r.Stats.VotesCommit.Add(1)
 	} else {
@@ -318,6 +331,12 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 		t.decision = m.Decision
 		t.decisionLogged = true
 		t.viewDecision = m.View
+		if !r.logDecisionLocked(t) {
+			// Never acknowledge a decision that is not on disk.
+			t.decisionLogged = false
+			t.mu.Unlock()
+			return
+		}
 	}
 	r.replyLoggedDecisionST2Locked(from, m.ReqID, t)
 	t.mu.Unlock()
@@ -375,9 +394,22 @@ func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
 }
 
 // finalize records a proven decision, updates the store, and resolves
-// dependency waits.
+// dependency waits. The decision (with its certificate) is durably
+// logged before anything is applied or replied — WAL discipline — so a
+// restarted replica rejoins with every finalized outcome it ever acted
+// on.
 func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) {
+	// The log-then-apply pair is fenced against checkpoint rotation
+	// (Replica.applyMu): a checkpoint that rotated after our record was
+	// appended waits for the store apply before snapshotting, so the
+	// outcome is always in the kept suffix or in the snapshot.
+	r.applyMu.RLock()
+	if !r.logFinal(id, meta, dec, cert) {
+		r.applyMu.RUnlock()
+		return // mute: the outcome never reached disk
+	}
 	changed := r.store.Finalize(id, meta, dec, cert)
+	r.applyMu.RUnlock()
 	t := r.tx(id)
 	t.mu.Lock()
 	if t.meta == nil {

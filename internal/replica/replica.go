@@ -30,6 +30,7 @@
 package replica
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a replica.
@@ -56,6 +58,20 @@ type Config struct {
 	// (paper §4.4). BatchSize 1 disables batching.
 	BatchSize  int
 	BatchDelay time.Duration
+
+	// DataDir, if non-empty, makes the replica durable: stage-1 votes and
+	// logged ST2 decisions reach a write-ahead log in this directory
+	// before the replies they justify are sent, and a restarted replica
+	// rebuilds its promises from it (Restore). Empty disables durability
+	// (the original in-memory behavior).
+	DataDir string
+	// WALFlushDelay is the WAL group-commit window: concurrent appenders
+	// inside one window share a single fsync. 0 uses the wal default.
+	WALFlushDelay time.Duration
+	// CheckpointEvery, if positive (and DataDir is set), periodically
+	// garbage-collects below a clock-derived watermark (now − 2δ) and
+	// writes a checkpoint, bounding both log and memory growth.
+	CheckpointEvery time.Duration
 
 	// VerifyWorkers sizes the ingest worker pool that verifies signatures
 	// and runs message handlers concurrently. 0 defaults to GOMAXPROCS;
@@ -177,14 +193,48 @@ type Replica struct {
 	// on its decision.
 	depWaiters map[types.TxID][]types.TxID
 
+	// wal is the durability log (nil when Config.DataDir is empty);
+	// walFailed mutes the replica after an append failure — fail-stop,
+	// never fail-equivocate (see durability.go).
+	wal       *wal.Log
+	walFailed atomic.Bool
+	ckptStop  chan struct{}
+	ckptWG    sync.WaitGroup
+	// applyMu fences finalize's log-then-apply pair against checkpoint
+	// rotation: held shared from before the final record is appended
+	// until the store apply completes, taken exclusively (and released
+	// immediately) by Checkpoint between rotating the log and reading
+	// the snapshot. Without it a final record could land in a superseded
+	// segment while its store apply races past the snapshot capture —
+	// pruned from the log, missing from the snapshot, gone.
+	applyMu sync.RWMutex
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 
 	Stats Stats
 }
 
-// New constructs and registers a replica on cfg.Net.
+// New constructs and registers a replica on cfg.Net. With a DataDir it
+// opens (and replays) the durability log, panicking if the directory is
+// unusable — use Restore for an error-returning restart path.
 func New(cfg Config) *Replica {
+	r, err := Restore(cfg, cfg.DataDir)
+	if err != nil {
+		panic(fmt.Sprintf("replica: data dir %s: %v", cfg.DataDir, err))
+	}
+	return r
+}
+
+// Restore constructs a replica whose durable state lives in dir,
+// replaying any existing write-ahead log (newest checkpoint + suffix)
+// before the replica is registered on the network: the prepared set,
+// fixed stage-1 votes, logged ST2 decisions, finalized outcomes, and a
+// conservative RTS floor all come back exactly as promised pre-crash. An
+// empty dir (on disk or as an argument) degrades gracefully: a fresh
+// durable replica, or with dir == "" a purely in-memory one.
+func Restore(cfg Config, dir string) (*Replica, error) {
+	cfg.DataDir = dir
 	if cfg.BatchSize < 1 {
 		cfg.BatchSize = 1
 	}
@@ -208,12 +258,29 @@ func New(cfg Config) *Replica {
 		pool:       cryptoutil.NewVerifyPool(cfg.VerifyWorkers),
 		txs:        make(map[types.TxID]*txState),
 		depWaiters: make(map[types.TxID][]types.TxID),
+		ckptStop:   make(chan struct{}),
 	}
 	r.shardAddrs = transport.ShardAddrs(cfg.Shard, r.qc.N())
 	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
 	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf, Pool: r.pool}
+	if dir != "" {
+		l, recov, err := wal.Open(wal.Options{Dir: dir, FlushDelay: cfg.WALFlushDelay})
+		if err != nil {
+			return nil, err
+		}
+		r.wal = l
+		if err := r.replay(recov); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	// Register only after replay: no message may race the rebuild.
 	cfg.Net.Register(r.addr, r)
-	return r
+	if r.wal != nil && cfg.CheckpointEvery > 0 {
+		r.ckptWG.Add(1)
+		go r.checkpointLoop()
+	}
+	return r, nil
 }
 
 // Addr returns the replica's transport address.
@@ -222,15 +289,21 @@ func (r *Replica) Addr() transport.Addr { return r.addr }
 // Store exposes the underlying store (examples, tests, GC drivers).
 func (r *Replica) Store() *store.Store { return r.store }
 
-// Close drains the ingest pool (every in-flight handler completes) and
-// then flushes the reply batcher. Messages delivered after Close — late
-// duplicates are routine in an asynchronous network — are dropped without
-// touching the closed pool or batcher. Idempotent.
+// Close drains the ingest pool (every in-flight handler completes, so no
+// one is left blocked inside a WAL append), flushes the reply batcher,
+// and finally syncs and closes the durability log. Messages delivered
+// after Close — late duplicates are routine in an asynchronous network —
+// are dropped without touching the closed pool or batcher. Idempotent.
 func (r *Replica) Close() {
 	r.closeOnce.Do(func() {
 		r.closed.Store(true)
 		r.pool.Close()
 		r.batcher.Close()
+		close(r.ckptStop)
+		r.ckptWG.Wait()
+		if r.wal != nil {
+			r.wal.Close()
+		}
 	})
 }
 
@@ -245,7 +318,9 @@ func (r *Replica) LoadGenesis(key string, value []byte) {
 // is deliberately not preserved — the protocol already tolerates an
 // asynchronous, reordering network.
 func (r *Replica) Deliver(from transport.Addr, msg any) {
-	if r.closed.Load() {
+	if r.closed.Load() || r.walFailed.Load() {
+		// A replica that cannot make its promises durable stops making
+		// promises: fail-stop, never fail-equivocate.
 		return
 	}
 	r.pool.Go(func() { r.dispatch(from, msg) })

@@ -102,6 +102,12 @@ type Store struct {
 	// and a plain mutex here would re-serialize the striped read path.
 	txMu sync.RWMutex
 	txns map[types.TxID]*TxRecord
+
+	// rtsFloor is a conservative store-wide lower bound standing in for
+	// RTS entries lost in a crash: writers below it are aborted by the
+	// line-12 coarse filter even on keys with no live RTS. Set once by
+	// restart (SetRTSFloor), read under the shared global lock.
+	rtsFloor types.Timestamp
 }
 
 // New creates an empty store with DefaultStripes lock stripes.
@@ -398,7 +404,13 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 		}
 	}
 	// Lines 9–13: writes must not invalidate validated readers or
-	// outstanding reads.
+	// outstanding reads. The restart floor stands in for RTS entries a
+	// crash erased: any read the pre-crash replica admitted had a
+	// timestamp at or below the floor, so writers beneath it are refused
+	// exactly as the lost per-key entries would have refused them.
+	if len(meta.WriteSet) > 0 && ts.Less(s.rtsFloor) {
+		return CheckResult{Outcome: CheckAbort}
+	}
 	for _, w := range meta.WriteSet {
 		e := s.stripeOf(w.Key).keys[w.Key]
 		if e == nil {
@@ -565,6 +577,23 @@ func (s *Store) Tx(id types.TxID) (TxRecord, bool) {
 	return TxRecord{}, false
 }
 
+// PreparedIDs returns the ids of every currently prepared transaction
+// (restart path: prepared entries without a durably logged vote are
+// withdrawn, since the vote they would justify was never promised).
+func (s *Store) PreparedIDs() []types.TxID {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	s.txMu.RLock()
+	defer s.txMu.RUnlock()
+	var ids []types.TxID
+	for id, rec := range s.txns {
+		if rec.Status == StatusPrepared {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
 // TxStatusOf returns the lifecycle status of id.
 func (s *Store) TxStatusOf(id types.TxID) TxStatus {
 	s.global.RLock()
@@ -595,14 +624,41 @@ func (s *Store) LatestCommitted(k string) (types.Timestamp, []byte, bool) {
 	return types.Timestamp{}, nil, false
 }
 
-// GC discards committed versions, reader records and RTS entries strictly
-// older than the watermark, keeping at least the newest committed version
-// at or below it per key. Prepared writes are never collected. Returns the
-// number of records dropped.
+// SetRTSFloor installs the conservative restart lower bound for ongoing
+// reads (see Store.rtsFloor). Called once by the replica restart path; it
+// never lowers an existing floor.
+func (s *Store) SetRTSFloor(ts types.Timestamp) {
+	s.global.Lock()
+	if s.rtsFloor.Less(ts) {
+		s.rtsFloor = ts
+	}
+	s.global.Unlock()
+}
+
+// GC discards state strictly older than the watermark: committed versions
+// (keeping at least the newest committed version at or below the
+// watermark per key, so reads above it still have a version to serve),
+// reader records, RTS entries, and finalized transaction records whose
+// writes no longer survive anywhere. Prepared writes are never collected.
+// Returns the number of records dropped.
+//
+// Watermark semantics: the caller promises no transaction at or below the
+// watermark will ever be read, prepared, or recovered again — in a live
+// cluster that means it trails the oldest timestamp any in-flight
+// transaction could still use (clients pick now, admission caps at
+// now+δ, so "now − δ − max transaction lifetime" is safely below every
+// live timestamp). Everything the store knows below that line is
+// unreachable history except the newest committed version per key, which
+// later reads still resolve to.
 func (s *Store) GC(watermark types.Timestamp) int {
 	s.global.Lock()
 	defer s.global.Unlock()
 	dropped := 0
+	// Writers of surviving versions stay in the transaction table: Read
+	// serves their metadata and certificate alongside the value, and a
+	// missing record would make a real committed version indistinguishable
+	// from an unprovable one.
+	liveWriters := make(map[types.TxID]struct{})
 	for si := range s.stripes {
 		for _, e := range s.stripes[si].keys {
 			// Find the newest committed version ≤ watermark; keep it.
@@ -624,6 +680,9 @@ func (s *Store) GC(watermark types.Timestamp) int {
 				}
 				e.writes = out
 			}
+			for i := range e.writes {
+				liveWriters[e.writes[i].writer] = struct{}{}
+			}
 			rd := e.readers[:0]
 			for _, r := range e.readers {
 				if r.readerTs.Less(watermark) {
@@ -633,13 +692,45 @@ func (s *Store) GC(watermark types.Timestamp) int {
 				rd = append(rd, r)
 			}
 			e.readers = rd
+			rtsChanged := false
 			for ts := range e.rts {
 				if ts.Less(watermark) {
 					delete(e.rts, ts)
 					dropped++
+					rtsChanged = true
+				}
+			}
+			if rtsChanged {
+				// Recompute the coarse line-12 bound from the surviving
+				// entries; leaving the old maximum in place would keep
+				// aborting every writer below a read timestamp that no
+				// longer exists (same stale-maxRTS class dropRTS fixes).
+				e.maxRTS = types.Timestamp{}
+				for ts := range e.rts {
+					if e.maxRTS.Less(ts) {
+						e.maxRTS = ts
+					}
 				}
 			}
 		}
+	}
+	// Collect the finalized-transaction table: under sustained load it is
+	// the store's only unbounded structure. A finalized record below the
+	// watermark whose writes have all been superseded (or that aborted) is
+	// pure history — no read, conflict check, or recovery can name it
+	// again under the watermark promise above.
+	for id, rec := range s.txns {
+		if rec.Status != StatusCommitted && rec.Status != StatusAborted {
+			continue
+		}
+		if rec.Meta == nil || !rec.Meta.Timestamp.Less(watermark) {
+			continue
+		}
+		if _, live := liveWriters[id]; live {
+			continue
+		}
+		delete(s.txns, id)
+		dropped++
 	}
 	return dropped
 }

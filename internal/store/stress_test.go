@@ -4,22 +4,51 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/types"
 )
+
+// committedVersion reports whether key holds a committed write at
+// exactly ver, returning its value. Post-storm oracle helper.
+func (s *Store) committedVersion(key string, ver types.Timestamp) ([]byte, bool) {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	st := s.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.keys[key]
+	if e == nil {
+		return nil, false
+	}
+	for i := range e.writes {
+		if e.writes[i].committed && e.writes[i].ver == ver {
+			return e.writes[i].value, true
+		}
+	}
+	return nil, false
+}
 
 // checkInvariants validates the store's internal consistency. It is the
 // oracle of the concurrent stress battery and runs after the storm (no
 // concurrent mutators), so it may walk internals freely.
 func (s *Store) checkInvariants() error {
-	// RTS monotone: maxRTS dominates every outstanding RTS entry.
+	// maxRTS matches the live RTS entries exactly: it dominates every
+	// outstanding entry AND is attained by one (or zero when none
+	// remain). A stale upper bound is the bug class GC and dropRTS both
+	// had — it silently aborts every writer below a dead read forever.
 	for si := range s.stripes {
 		for k, e := range s.stripes[si].keys {
+			var want types.Timestamp
 			for ts := range e.rts {
-				if e.maxRTS.Less(ts) {
-					return fmt.Errorf("key %q: rts %v above maxRTS %v", k, ts, e.maxRTS)
+				if want.Less(ts) {
+					want = ts
 				}
+			}
+			if e.maxRTS != want {
+				return fmt.Errorf("key %q: maxRTS %v, live RTS max %v", k, e.maxRTS, want)
 			}
 			// Version chains sorted strictly ascending.
 			for i := 1; i < len(e.writes); i++ {
@@ -96,11 +125,13 @@ func (m *stressModel) commit(meta *types.TxMeta) {
 
 // TestStoreConcurrentStress hammers one store from many goroutines with
 // interleaved Read/CheckAndPrepare/Finalize/RemovePrepared/DropRTS/GC on
-// overlapping keys, then asserts the invariants the replica layer relies
-// on: no committed write lost, RTS bounded by maxRTS, and the prepared set
-// consistent with the per-key version chains. Run it under -race (it is
-// part of `make test-race`): the interleavings, not the assertions, are
-// the point.
+// overlapping keys — plus a dedicated GC goroutine advancing a watermark
+// through the storm — then asserts the invariants the replica layer
+// relies on: no committed write lost, no version at or above the final
+// watermark lost, maxRTS matching the live RTS entries exactly, and the
+// prepared set consistent with the per-key version chains. Run it under
+// -race (it is part of `make test-race`): the interleavings, not the
+// assertions, are the point.
 func TestStoreConcurrentStress(t *testing.T) {
 	const (
 		workers = 8
@@ -127,6 +158,41 @@ func TestStoreConcurrentStress(t *testing.T) {
 				clock.mu.Unlock()
 				return ts
 			}
+			now := func() uint64 {
+				clock.mu.Lock()
+				defer clock.mu.Unlock()
+				return clock.t
+			}
+
+			// The GC goroutine sweeps a watermark trailing the issued
+			// timestamps for the whole storm; highWater is the largest
+			// watermark any GC pass (goroutine or in-worker op) used, the
+			// line the post-storm loss oracle is checked against.
+			var highWater atomic.Uint64
+			gcAt := func(w uint64) {
+				for {
+					cur := highWater.Load()
+					if w <= cur || highWater.CompareAndSwap(cur, w) {
+						break
+					}
+				}
+				s.GC(types.Timestamp{Time: w})
+			}
+			gcDone := make(chan struct{})
+			var gcWG sync.WaitGroup
+			gcWG.Add(1)
+			go func() {
+				defer gcWG.Done()
+				for {
+					select {
+					case <-gcDone:
+						return
+					default:
+					}
+					gcAt(now() / 2)
+					time.Sleep(100 * time.Microsecond)
+				}
+			}()
 
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -180,7 +246,7 @@ func TestStoreConcurrentStress(t *testing.T) {
 							}
 						case op == 9: // background maintenance
 							if rng.Intn(2) == 0 {
-								s.GC(types.Timestamp{Time: ts.Time / 2})
+								gcAt(ts.Time / 2)
 							} else {
 								s.StatsSnapshot()
 							}
@@ -189,9 +255,36 @@ func TestStoreConcurrentStress(t *testing.T) {
 				}()
 			}
 			wg.Wait()
+			close(gcDone)
+			gcWG.Wait()
+			finalWater := types.Timestamp{Time: highWater.Load()}
 
 			if err := s.checkInvariants(); err != nil {
 				t.Fatalf("invariant violated after storm: %v", err)
+			}
+			// No version at or above the watermark is lost: GC only drops
+			// committed versions strictly below the newest one at or below
+			// its watermark, so every model commit from the watermark up
+			// must still be present, byte for byte.
+			checkedAbove := 0
+			for _, m := range model.committed {
+				if m.Timestamp.Less(finalWater) {
+					continue
+				}
+				checkedAbove++
+				for _, w := range m.WriteSet {
+					ver, ok := s.committedVersion(w.Key, m.Timestamp)
+					if !ok {
+						t.Fatalf("version %v of %q (at/above watermark %v) lost",
+							m.Timestamp, w.Key, finalWater)
+					}
+					if string(ver) != string(w.Value) {
+						t.Fatalf("version %v of %q diverged", m.Timestamp, w.Key)
+					}
+				}
+			}
+			if checkedAbove == 0 && len(model.committed) > 0 {
+				t.Log("watermark overtook every commit; loss oracle vacuous this run")
 			}
 			// No committed write lost: per key, the newest committed write in
 			// the model must be exactly what LatestCommitted serves.
@@ -221,10 +314,18 @@ func TestStoreConcurrentStress(t *testing.T) {
 					t.Fatalf("key %q: committed value diverged", k)
 				}
 			}
-			// Every model commit is recorded committed.
+			// Every model commit at or above the watermark is recorded
+			// committed; below it, GC may legitimately have collected the
+			// finalized record (but must never have flipped it).
 			for _, m := range model.committed {
-				if s.TxStatusOf(m.ID()) != StatusCommitted {
-					t.Fatalf("committed tx %v not committed in store", m.ID())
+				switch st := s.TxStatusOf(m.ID()); st {
+				case StatusCommitted:
+				case StatusUnknown:
+					if !m.Timestamp.Less(finalWater) {
+						t.Fatalf("committed tx %v (at/above watermark) collected", m.ID())
+					}
+				default:
+					t.Fatalf("committed tx %v recorded as %v", m.ID(), st)
 				}
 			}
 		})

@@ -38,7 +38,11 @@ func (l *Local) SetPolicy(p LinkPolicy) {
 	l.mu.Unlock()
 }
 
-// Register implements Network.
+// Register implements Network. Re-registering an address replaces the
+// previous node (a restarted replica takes over its own address); the
+// old node's mailbox is closed so its dispatcher exits and messages
+// still queued for the dead incarnation are dropped, exactly as a real
+// network drops packets to a crashed process.
 func (l *Local) Register(addr Addr, h Handler) {
 	n := &localNode{box: newMailbox(), h: h}
 	l.mu.Lock()
@@ -46,8 +50,12 @@ func (l *Local) Register(addr Addr, h Handler) {
 		l.mu.Unlock()
 		return
 	}
+	old := l.nodes[addr]
 	l.nodes[addr] = n
 	l.mu.Unlock()
+	if old != nil {
+		old.box.close()
+	}
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()

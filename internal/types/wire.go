@@ -211,6 +211,25 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 	return msg, d.b, nil
 }
 
+// AppendDecisionCert appends the optional-certificate wire encoding
+// (presence byte + body) to b — the same bytes a cert occupies inside a
+// protocol message. Exported for the durability subsystem, whose WAL
+// records and checkpoints reuse the canonical codec.
+func AppendDecisionCert(b []byte, c *DecisionCert) []byte {
+	return appendDecisionCertOpt(b, c)
+}
+
+// DecodeDecisionCert parses an optional DecisionCert produced by
+// AppendDecisionCert, returning the remaining bytes.
+func DecodeDecisionCert(b []byte) (*DecisionCert, []byte, error) {
+	d := &decoder{b: b}
+	c := d.decisionCertOpt(0)
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return c, d.b, nil
+}
+
 // --- encode helpers ---
 
 func appendBool(b []byte, v bool) []byte {
