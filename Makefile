@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race race bench
+.PHONY: check fmt vet build test test-race race bench doc-check linkcheck
 
-check: fmt vet build test test-race
+check: fmt vet build doc-check linkcheck test test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -18,17 +18,28 @@ vet:
 build:
 	$(GO) build ./...
 
+# Every package must carry a package-level doc comment (role plus
+# locking/ownership rules); tools/doccheck fails on undocumented ones.
+doc-check:
+	$(GO) run ./tools/doccheck ./internal ./basil ./cmd ./tools ./examples
+
+# Documentation references — markdown links and anchors, repo paths in
+# code spans, command flags — must resolve; tools/linkcheck fails on rot.
+linkcheck:
+	$(GO) run ./tools/linkcheck README.md ARCHITECTURE.md docs
+
 test:
 	$(GO) test ./...
 
 # Transport concurrency (writer goroutines, background dialing, SendAll
 # body sharing), client reply collection, the replica's parallel ingest
-# pipeline, the striped store, and the WAL's group-commit flusher must
-# stay race-clean; the crash-restart battery (race-scaled via the
-# raceEnabled build tag) rides along so durability regressions are
-# caught locally. Runs as part of `make check`.
+# pipeline, the striped store, the WAL's group-commit flusher, and the
+# metrics record path (lock-free histograms hammered from many
+# goroutines) must stay race-clean; the crash-restart battery
+# (race-scaled via the raceEnabled build tag) rides along so durability
+# regressions are caught locally. Runs as part of `make check`.
 test-race:
-	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/
+	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/
 	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica'
 
 # The transport and codec tests are required to pass under the race

@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate each evaluation figure as a
-// testing.B target (one bench family per table/figure; see DESIGN.md's
+// testing.B target (one bench family per table/figure; see docs/benchmarking.md's
 // experiment index). Benchmarks drive a single closed-loop session through
 // a freshly populated cluster and report tx/s; the multi-client peak
 // numbers come from cmd/basil-bench.

@@ -1,6 +1,6 @@
 // Command basil-bench regenerates the paper's evaluation tables and
 // figures (§6) as text rows. Each experiment id matches a figure; see
-// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// docs/benchmarking.md for the experiment index and recorded
 // paper-vs-measured results.
 //
 // Usage:
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, metrics, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -112,6 +112,11 @@ func main() {
 	if run("durability") {
 		any = true
 		t := benchharness.FigDurability(scale)
+		t.Render(out)
+	}
+	if run("metrics") {
+		any = true
+		t := benchharness.FigMetrics(scale)
 		t.Render(out)
 	}
 	if !any {

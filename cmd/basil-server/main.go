@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/replica"
 	"repro/internal/transport"
@@ -46,6 +47,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory: stage-1 votes and logged decisions hit a write-ahead log here before any reply, and a restarted server rejoins with its promises intact (empty = in-memory only)")
 	walWindow := flag.Duration("wal-window", 0, "WAL group-commit window; concurrent prepares within it share one fsync (0 = default 200µs)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint cadence with -data-dir: GC below a clock-derived watermark and snapshot, bounding log and memory growth (0 = never)")
+	adminAddr := flag.String("admin-addr", "", "admin HTTP listen address serving /metrics (Prometheus), /stats (JSON) and /healthz (empty = no admin endpoint)")
 	flag.Parse()
 
 	shard, index, err := parseReplica(*which)
@@ -57,7 +59,8 @@ func main() {
 		log.Fatalf("bad -peers: %v", err)
 	}
 
-	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{MaxFrame: *maxFrame})
+	mreg := metrics.NewRegistry()
+	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{MaxFrame: *maxFrame, Metrics: mreg})
 	if err != nil {
 		log.Fatalf("transport: %v", err)
 	}
@@ -79,11 +82,21 @@ func main() {
 		SignerID:        signerOf(shard, index),
 		SignerOf:        signerOf,
 		Net:             net,
+		Metrics:         mreg,
 	}, *dataDir)
 	if err != nil {
 		log.Fatalf("restore %s: %v", *dataDir, err)
 	}
 	defer r.Close()
+
+	if *adminAddr != "" {
+		admin, err := metrics.StartAdmin(*adminAddr, mreg, r.Health)
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer admin.Close()
+		fmt.Printf("basil-server: admin endpoint on http://%s (/metrics, /stats, /healthz)\n", admin.Addr())
+	}
 
 	durable := "in-memory"
 	if *dataDir != "" {

@@ -23,7 +23,7 @@ import (
 
 // Scale groups the knobs that shrink the paper's cluster-scale experiments
 // to a single machine. The shapes (ratios, crossovers) are the
-// reproduction target; absolute tx/s are not (see DESIGN.md).
+// reproduction target; absolute tx/s are not (see docs/benchmarking.md).
 type Scale struct {
 	Clients    int
 	Warmup     time.Duration
@@ -359,7 +359,7 @@ func Fig7(s Scale, zipf bool) Table {
 // transaction.
 func FigLatency(s Scale, delay time.Duration) Table {
 	t := Table{Title: fmt.Sprintf("Latency regime (%v one-way delay): commit latency (ms)", delay),
-		Header: []string{"system", "mean lat (ms)", "tput (tx/s)"}}
+		Header: []string{"system", "mean", "p50", "p90", "p99", "p99.9", "tput (tx/s)"}}
 	gen := workload.NewYCSB(workload.YCSBConfig{Keys: s.YCSBKeys, ReadOps: 2, WriteOps: 2})
 	cfg := s.runCfg()
 	cfg.Clients = 4
@@ -374,16 +374,22 @@ func FigLatency(s Scale, delay time.Duration) Table {
 	policy(bs.C.Net())
 	r := Run(bs, gen, cfg)
 	bs.Close()
-	t.Rows = append(t.Rows, []string{"Basil", f2(r.MeanLatMs), f1(r.Throughput)})
+	t.Rows = append(t.Rows, latencyRow("Basil", r))
 
 	for _, kind := range []txbase.Kind{txbase.KindHotStuff, txbase.KindPBFT} {
 		sys := NewTxBase(gen, kind, 1)
 		policy(sys.C.Net())
 		r := Run(sys, gen, cfg)
 		sys.Close()
-		t.Rows = append(t.Rows, []string{kind.String(), f2(r.MeanLatMs), f1(r.Throughput)})
+		t.Rows = append(t.Rows, latencyRow(kind.String(), r))
 	}
 	return t
+}
+
+// latencyRow renders one system's full percentile ladder (ms).
+func latencyRow(name string, r Result) []string {
+	return []string{name, f2(r.MeanLatMs), f2(r.P50LatMs), f2(r.P90LatMs),
+		f2(r.P99LatMs), f2(r.P999LatMs), f1(r.Throughput)}
 }
 
 // FigWire is a reproduction-aid experiment not in the paper: the same

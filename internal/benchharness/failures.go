@@ -9,6 +9,7 @@ import (
 
 	"repro/basil"
 	"repro/internal/client"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -53,9 +54,8 @@ func RunWithByzClients(cl *basil.Cluster, gen workload.Generator, cfg FailureRun
 		attempts  atomic.Uint64
 		faulty    atomic.Uint64
 		equivOK   atomic.Uint64
-		latMu     sync.Mutex
-		lats      []float64
 	)
+	lat := &metrics.Histogram{}
 
 	var wg sync.WaitGroup
 	// Correct clients: the measured population.
@@ -83,9 +83,7 @@ func RunWithByzClients(cl *basil.Cluster, gen workload.Generator, cfg FailureRun
 					if err == nil {
 						if measuring.Load() {
 							commits.Add(1)
-							latMu.Lock()
-							lats = append(lats, time.Since(start).Seconds()*1000)
-							latMu.Unlock()
+							lat.Since(start)
 						}
 						break
 					}
@@ -154,7 +152,7 @@ func RunWithByzClients(cl *basil.Cluster, gen workload.Generator, cfg FailureRun
 	if res.Attempts > 0 {
 		res.CommitRate = float64(res.Commits) / float64(res.Attempts)
 	}
-	res.MeanLatMs, res.P50LatMs, res.P99LatMs = latencyStats(lats)
+	res.MeanLatMs, res.P50LatMs, res.P90LatMs, res.P99LatMs, res.P999LatMs = latencyStats(lat.SnapshotHist())
 	res.FaultyTxs = faulty.Load()
 	res.EquivocationsOK = equivOK.Load()
 	if total := float64(res.FaultyTxs) + float64(res.Commits); total > 0 {

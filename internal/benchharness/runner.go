@@ -3,11 +3,11 @@ package benchharness
 import (
 	"errors"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -33,7 +33,9 @@ type Result struct {
 	Throughput  float64 // committed tx/s in the measure window
 	MeanLatMs   float64 // mean commit latency (first attempt -> commit)
 	P50LatMs    float64
+	P90LatMs    float64
 	P99LatMs    float64
+	P999LatMs   float64
 	CommitRate  float64 // commits / attempts
 	Commits     uint64
 	Attempts    uint64
@@ -65,9 +67,12 @@ func Run(sys System, gen workload.Generator, cfg RunConfig) Result {
 		attempts  atomic.Uint64
 		appAborts atomic.Uint64
 		starved   atomic.Uint64
-		latMu     sync.Mutex
-		latencies []float64
 	)
+	// Commit latency goes through the same log-scale histogram the
+	// production metrics plane uses: lock-free, allocation-free recording
+	// from every client goroutine, percentiles recovered from the buckets
+	// (within one sub-bucket, ≈6%).
+	lat := &metrics.Histogram{}
 
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
@@ -95,10 +100,7 @@ func Run(sys System, gen workload.Generator, cfg RunConfig) Result {
 					if err == nil {
 						if measuring.Load() {
 							commits.Add(1)
-							lat := time.Since(start).Seconds() * 1000
-							latMu.Lock()
-							latencies = append(latencies, lat)
-							latMu.Unlock()
+							lat.Since(start)
 						}
 						break
 					}
@@ -149,28 +151,19 @@ func Run(sys System, gen workload.Generator, cfg RunConfig) Result {
 	if res.Attempts > 0 {
 		res.CommitRate = float64(res.Commits) / float64(res.Attempts)
 	}
-	res.MeanLatMs, res.P50LatMs, res.P99LatMs = latencyStats(latencies)
+	res.MeanLatMs, res.P50LatMs, res.P90LatMs, res.P99LatMs, res.P999LatMs = latencyStats(lat.SnapshotHist())
 	return res
 }
 
-// latencyStats computes mean/p50/p99 of a sample in ms.
-func latencyStats(lat []float64) (mean, p50, p99 float64) {
-	if len(lat) == 0 {
-		return 0, 0, 0
-	}
-	sort.Float64s(lat)
-	var sum float64
-	for _, v := range lat {
-		sum += v
-	}
-	mean = sum / float64(len(lat))
-	p50 = lat[len(lat)/2]
-	idx := int(float64(len(lat))*0.99) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	p99 = lat[idx]
-	return mean, p50, p99
+// latencyStats extracts the latency summary (ms) from a histogram
+// snapshot: mean plus the p50/p90/p99/p99.9 percentile ladder.
+func latencyStats(s metrics.HistSnapshot) (mean, p50, p90, p99, p999 float64) {
+	const ms = 1e6 // ns per ms
+	return s.MeanNanos() / ms,
+		s.Quantile(0.50) / ms,
+		s.Quantile(0.90) / ms,
+		s.Quantile(0.99) / ms,
+		s.Quantile(0.999) / ms
 }
 
 // FindPeak sweeps client counts and returns the run with the highest

@@ -2,16 +2,25 @@
 // transactions through the Execution, Prepare and Writeback phases (paper
 // §4), validates replica replies and certificates, and runs the recovery
 // protocol for stalled transactions (paper §5).
+//
+// Ownership: a Client is the paper's closed-loop actor — one transaction
+// at a time, driven by one goroutine; run one Client per concurrent
+// actor. Internally the reply mux (pending map) is mutex-guarded because
+// transport dispatchers deliver concurrently, and Stats fields are
+// atomics bound into the metrics registry. A Txn belongs to its Client's
+// goroutine and must not be shared.
 package client
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -63,6 +72,12 @@ type Config struct {
 	// may be shared between clients; verification falls back inline when
 	// the pool is busy.
 	VerifyPool *cryptoutil.VerifyPool
+
+	// Metrics is the registry the client registers its instruments on:
+	// bound Stats counters plus read-op, commit-op and end-to-end
+	// transaction latency histograms. Nil creates a private registry
+	// (exposed via Client.Metrics); metrics.Nop disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Stats counts client-side protocol events.
@@ -94,7 +109,18 @@ type Client struct {
 	recovered map[types.TxID]time.Time
 
 	Stats Stats
+
+	// reg is the metrics registry; the histograms are nil-safe no-op
+	// handles when instrumentation is off (metrics.Nop).
+	reg     *metrics.Registry
+	hRead   *metrics.Histogram // one network Read op
+	hCommit *metrics.Histogram // one Commit call (prepare + writeback)
+	hTxn    *metrics.Histogram // end-to-end Begin -> successful commit
 }
+
+// Metrics returns the client's registry (snapshot it in tests, serve it
+// from an operator endpoint, or diff it across a bench window).
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
 
 // markRecovery reports whether the client should attempt to finish id now
 // (it has not tried within the dedup window).
@@ -139,6 +165,26 @@ func New(cfg Config) *Client {
 		recovered: make(map[types.TxID]time.Time),
 	}
 	c.qv = &quorum.Verifier{Cfg: c.qc, Sigs: c.sv, SignerOf: cfg.SignerOf, Pool: cfg.VerifyPool}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c.reg = reg
+	// Every instrument carries a client label so multiple clients can
+	// share one registry (and one /metrics page) without name collisions.
+	lbl := []string{"client", strconv.Itoa(int(cfg.ID))}
+	reg.BindCounter("basil_client_tx_begun_total", &c.Stats.TxBegun, lbl...)
+	reg.BindCounter("basil_client_tx_committed_total", &c.Stats.TxCommitted, lbl...)
+	reg.BindCounter("basil_client_tx_aborted_total", &c.Stats.TxAborted, lbl...)
+	reg.BindCounter("basil_client_fastpath_total", &c.Stats.FastPathTaken, lbl...)
+	reg.BindCounter("basil_client_slowpath_total", &c.Stats.SlowPathTaken, lbl...)
+	reg.BindCounter("basil_client_deps_acquired_total", &c.Stats.DepsAcquired, lbl...)
+	reg.BindCounter("basil_client_recoveries_total", &c.Stats.Recoveries, lbl...)
+	reg.BindCounter("basil_client_fallback_rounds_total", &c.Stats.FallbackRounds, lbl...)
+	reg.BindCounter("basil_client_read_retries_total", &c.Stats.ReadRetries, lbl...)
+	c.hRead = reg.Histogram("basil_client_read_latency_seconds", lbl...)
+	c.hCommit = reg.Histogram("basil_client_commit_latency_seconds", lbl...)
+	c.hTxn = reg.Histogram("basil_client_txn_latency_seconds", lbl...)
 	cfg.Net.Register(c.addr, c)
 	return c
 }

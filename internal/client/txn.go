@@ -13,6 +13,8 @@ import (
 type Txn struct {
 	c  *Client
 	ts types.Timestamp
+	// begun anchors the end-to-end latency histogram (Begin -> commit).
+	begun time.Time
 
 	reads    []types.ReadEntry
 	readKeys map[string]bool
@@ -33,6 +35,7 @@ func (c *Client) Begin() *Txn {
 	c.Stats.TxBegun.Add(1)
 	return &Txn{
 		c:        c,
+		begun:    time.Now(),
 		ts:       types.Timestamp{Time: c.now(), ClientID: uint64(c.cfg.ID)},
 		readKeys: make(map[string]bool),
 		readVals: make(map[string][]byte),
@@ -81,6 +84,7 @@ func (t *Txn) Read(key string) ([]byte, error) {
 		return t.readVals[key], nil
 	}
 	c := t.c
+	defer c.hRead.Since(time.Now())
 	shard := c.cfg.ShardOf(key)
 	replicas := c.replicasOf(shard)
 	fanout := c.cfg.ReadWait + c.cfg.F
@@ -325,8 +329,10 @@ func (t *Txn) Commit() error {
 		return ErrAborted
 	}
 	t.finished = true
+	defer t.c.hCommit.Since(time.Now())
 	if len(t.reads) == 0 && len(t.writes) == 0 {
 		t.c.Stats.TxCommitted.Add(1)
+		t.c.hTxn.Since(t.begun)
 		return nil // empty transaction commits trivially
 	}
 	meta := t.buildMeta()
@@ -337,6 +343,7 @@ func (t *Txn) Commit() error {
 	}
 	if dec == types.DecisionCommit {
 		t.c.Stats.TxCommitted.Add(1)
+		t.c.hTxn.Since(t.begun)
 		return nil
 	}
 	t.c.Stats.TxAborted.Add(1)

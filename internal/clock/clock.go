@@ -1,6 +1,11 @@
 // Package clock abstracts time sources so the δ admission bound of the
 // Basil read/prepare path (paper §4.1) can be tested under injected skew,
 // and so simulations are reproducible.
+//
+// Ownership: Clock implementations must be safe for concurrent use —
+// replicas call NowMicros from pool workers and the checkpoint loop
+// simultaneously. The provided implementations (Real, the test clocks)
+// are stateless or internally synchronized.
 package clock
 
 import (

@@ -4,6 +4,11 @@
 // (package basil) composes whole clusters; core is the seam used by tests
 // and by deployments that wire roles to transports manually (see
 // cmd/basil-server and cmd/basil-kv).
+//
+// Ownership: core constructs and hands off — it retains nothing. The
+// replica and client own their own synchronization (see their package
+// docs); core-level callers only coordinate construction order (register
+// replicas before clients send).
 package core
 
 import (

@@ -3,6 +3,14 @@
 // registry mapping replica ids to verification keys, Merkle-tree reply
 // batching with inclusion proofs (paper §4.4), and a root-signature cache
 // that amortizes verification across replies from the same batch.
+//
+// Concurrency and ownership: the Registry is immutable after construction
+// and shared freely. SigVerifier and VerifyPool are internally
+// synchronized and designed for sharing (one pool may serve many clients
+// and a replica's whole ingest path; see pool.go for the queue-helping
+// rule that makes nested use from a worker deadlock-free). BatchSigner
+// serializes its own state; Enqueue may compute the signature on the
+// calling goroutine when it completes a batch.
 package cryptoutil
 
 import (

@@ -2,6 +2,11 @@
 // clients, used by the failure experiments (paper §6.4) and the
 // adversarial test suite, plus seeded network-fault link policies for the
 // whole-cluster fuzz battery.
+//
+// Ownership: strategies are installed at cluster construction and invoked
+// from replica pool workers and transport dispatchers concurrently; every
+// strategy here is either stateless or guards its state with its own
+// mutex (seeded RNGs included, so drop decisions are reproducible).
 package faults
 
 import (

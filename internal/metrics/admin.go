@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Health is the answer a component gives to "are you able to serve?".
+// The durability layer's fail-stop semantics surface here: a replica
+// whose WAL append failed reports OK=false/State="muted" and never
+// serves protocol traffic again (see internal/replica/durability.go).
+type Health struct {
+	OK     bool   `json:"ok"`
+	State  string `json:"state"`            // "serving", "muted", "closed"
+	Detail string `json:"detail,omitempty"` // human-readable cause
+}
+
+// AdminHandler serves the observability endpoints:
+//
+//	/metrics — Prometheus text exposition of the registry
+//	/stats   — JSON snapshot (counters, gauges, histogram percentiles)
+//	/healthz — health JSON; HTTP 503 when not OK, 200 otherwise
+//
+// health may be nil, in which case /healthz always reports serving.
+func AdminHandler(reg *Registry, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{OK: true, State: "serving"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	return mux
+}
+
+// AdminServer is a running admin HTTP listener (basil-server -admin-addr).
+type AdminServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr (":0" picks a free port) and serves AdminHandler
+// on it in a background goroutine until Close.
+func StartAdmin(addr string, reg *Registry, health func() Health) (*AdminServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	a := &AdminServer{
+		lis: lis,
+		srv: &http.Server{Handler: AdminHandler(reg, health), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = a.srv.Serve(lis) }()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.lis.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (a *AdminServer) Close() error { return a.srv.Close() }

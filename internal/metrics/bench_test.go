@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve is the record-path cost statement: a few
+// nanoseconds and — the property the whole package is designed around —
+// zero allocations per op (run with -benchmem; TestRecordPathAllocFree
+// enforces the same in plain `go test`).
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xFFFFF) * time.Nanosecond)
+	}
+}
+
+// BenchmarkCounterAdd measures the counter hot path.
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserveParallel shows contention behavior: all
+// goroutines hammer the same histogram (shared atomics, no locks).
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(time.Duration(i&0xFFFFF) * time.Nanosecond)
+			i++
+		}
+	})
+}
+
+// BenchmarkNilObserve is the disabled-instrumentation cost: one nil
+// check, nothing else.
+func BenchmarkNilObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}

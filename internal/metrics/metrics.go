@@ -1,0 +1,542 @@
+// Package metrics is the observability plane: a dependency-free registry
+// of atomic counters, gauges, and fixed-bucket log-scale latency
+// histograms, with snapshot/diff support and two renderers (Prometheus
+// text exposition and JSON). It exists so every layer — replica, store,
+// WAL, transport, client, bench harness — reports through one mechanism
+// that is cheap enough to leave on in production.
+//
+// Record-path cost. Counter.Add and Histogram.Observe are a handful of
+// atomic adds into fixed arrays: zero heap allocations (enforced by
+// TestRecordPathAllocFree and BenchmarkHistogramObserve), no locks, no
+// maps. All record-path methods are nil-safe — calling them on a nil
+// *Counter/*Gauge/*Histogram is a no-op — so instrumentation can be
+// compiled in unconditionally and disabled by registering against Nop.
+//
+// Histogram shape. Buckets are log-scale: one power-of-two octave split
+// into 16 linear sub-buckets (HdrHistogram-style), so any recorded value
+// lands in a bucket whose bounds are within 1/16 ≈ 6.25% of it. That is
+// tight enough for p50/p90/p99/p99.9 reporting while keeping the bucket
+// array fixed-size (976 slots covering the full uint64 nanosecond range)
+// and the record path branch-free beyond the index computation.
+//
+// Ownership. A Registry is created by the component that owns the
+// process-visible namespace (one per replica, per client, per transport)
+// and is internally synchronized: registration takes a mutex, recording
+// never does. Snapshot reads are atomic per-field but not cross-field
+// consistent — acceptable for monitoring, not for invariants.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (0 on a nil receiver).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (queue depths, pool sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket geometry: values < 32 get exact unit buckets; every
+// larger power-of-two octave [2^e, 2^(e+1)) is split into 16 linear
+// sub-buckets, so a bucket's width is at most 1/16 of its lower bound.
+const (
+	histSubBuckets = 16
+	// histBuckets covers the full non-negative int64 range:
+	// indices 0..31 are exact, then 16 per octave for e = 5..63.
+	histBuckets = 32 + histSubBuckets*(63-4)
+)
+
+// bucketIdx maps a non-negative value to its bucket index.
+func bucketIdx(v uint64) int {
+	if v < 32 {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // floor(log2 v), ≥ 5
+	// Top 4 mantissa bits after the leading 1 select the sub-bucket.
+	return histSubBuckets*(e-3) + int(v>>(e-4)) - histSubBuckets
+}
+
+// bucketLower returns the smallest value mapping to bucket i.
+func bucketLower(i int) uint64 {
+	if i < 32 {
+		return uint64(i)
+	}
+	e := i/histSubBuckets + 3
+	pos := i % histSubBuckets
+	return uint64(histSubBuckets+pos) << (e - 4)
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i+1 >= histBuckets {
+		return math.MaxUint64
+	}
+	return bucketLower(i + 1)
+}
+
+// Histogram is a fixed-bucket log-scale latency histogram. The zero
+// value is ready to use; Observe is lock-free and allocation-free.
+// Values are recorded in nanoseconds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+// No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIdx(v)].Add(1)
+}
+
+// Since records the elapsed time from t0 until now. No-op on nil.
+func (h *Histogram) Since(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0))
+	}
+}
+
+// Count returns the number of recorded observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SnapshotHist captures the histogram's current state.
+func (h *Histogram) SnapshotHist() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{
+				LowerNanos: bucketLower(i),
+				UpperNanos: bucketUpper(i),
+				Count:      n,
+			})
+		}
+	}
+	return s
+}
+
+// Bucket is one non-empty histogram bucket: counts of values in
+// [LowerNanos, UpperNanos).
+type Bucket struct {
+	LowerNanos uint64 `json:"lower_ns"`
+	UpperNanos uint64 `json:"upper_ns"`
+	Count      uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: total count, sum
+// of recorded nanoseconds, and the non-empty buckets in ascending order.
+type HistSnapshot struct {
+	Count    uint64   `json:"count"`
+	SumNanos uint64   `json:"sum_ns"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+}
+
+// MeanNanos returns the mean recorded value, 0 when empty.
+func (s HistSnapshot) MeanNanos() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNanos) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in nanoseconds by
+// linear interpolation within the bucket containing the target rank.
+// The estimate is within one sub-bucket (≈6.25%) of the true value.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	var seen float64
+	for _, b := range s.Buckets {
+		n := float64(b.Count)
+		if seen+n > rank {
+			// Interpolate the rank's position inside this bucket.
+			frac := 0.5
+			if n > 1 {
+				frac = (rank - seen) / n
+			}
+			lo, hi := float64(b.LowerNanos), float64(b.UpperNanos)
+			if hi <= lo || b.UpperNanos == math.MaxUint64 {
+				return lo
+			}
+			return lo + frac*(hi-lo)
+		}
+		seen += n
+	}
+	if len(s.Buckets) > 0 {
+		return float64(s.Buckets[len(s.Buckets)-1].LowerNanos)
+	}
+	return 0
+}
+
+// Sub returns the histogram delta s − prev (counts subtract bucket-wise;
+// buckets absent from prev pass through). Both snapshots must come from
+// the same histogram, prev earlier.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count:    s.Count - prev.Count,
+		SumNanos: s.SumNanos - prev.SumNanos,
+	}
+	old := make(map[uint64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		old[b.LowerNanos] = b.Count
+	}
+	for _, b := range s.Buckets {
+		if n := b.Count - old[b.LowerNanos]; n > 0 {
+			out.Buckets = append(out.Buckets, Bucket{
+				LowerNanos: b.LowerNanos,
+				UpperNanos: b.UpperNanos,
+				Count:      n,
+			})
+		}
+	}
+	return out
+}
+
+// metric kinds inside the registry.
+type counterEntry struct {
+	name, labels string
+	c            *Counter
+	ext          *atomic.Uint64 // bound external counter (BindCounter)
+	fn           func() uint64  // bound external reader (BindCounterFunc)
+}
+
+type gaugeEntry struct {
+	name, labels string
+	g            *Gauge
+	fn           func() int64
+}
+
+type histEntry struct {
+	name, labels string
+	h            *Histogram
+}
+
+// Registry names and owns a set of metrics. Registration (any method
+// returning or binding a metric) takes a mutex and may allocate;
+// recording through the returned handles never does. The zero value is
+// NOT usable — call NewRegistry.
+type Registry struct {
+	nop bool
+
+	mu       sync.Mutex
+	names    map[string]bool
+	counters []counterEntry
+	gauges   []gaugeEntry
+	hists    []histEntry
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Nop is the disabled registry: every registration returns a nil handle
+// (record paths become no-ops) and nothing is retained. Pass it where a
+// *Registry is expected to turn instrumentation off.
+var Nop = &Registry{nop: true}
+
+// Enabled reports whether this registry actually records (false for Nop
+// and for a nil registry).
+func (r *Registry) Enabled() bool { return r != nil && !r.nop }
+
+// labelString renders "k1=\"v1\",k2=\"v2\"" from pairs; panics on an odd
+// count (a registration-time programming error).
+func labelString(pairs []string) string {
+	if len(pairs)%2 != 0 {
+		panic("metrics: odd label pair count")
+	}
+	s := ""
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			s += ","
+		}
+		s += pairs[i] + "=\"" + pairs[i+1] + "\""
+	}
+	return s
+}
+
+// register reserves name{labels}, panicking on duplicates — two metrics
+// with the same full name is always a wiring bug worth failing loudly on.
+func (r *Registry) register(name, labels string) {
+	full := name + "{" + labels + "}"
+	if r.names[full] {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", full))
+	}
+	r.names[full] = true
+}
+
+// Counter registers and returns a counter. Labels are key,value pairs.
+// On Nop it returns nil (a valid no-op handle).
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	labels := labelString(labelPairs)
+	r.register(name, labels)
+	c := &Counter{}
+	r.counters = append(r.counters, counterEntry{name: name, labels: labels, c: c})
+	return c
+}
+
+// BindCounter exposes an existing atomic counter (for instance a field of
+// a pre-existing Stats struct) under name without copying it: snapshots
+// read v directly, and the owning code keeps incrementing its atomic as
+// before. No-op on Nop.
+func (r *Registry) BindCounter(name string, v *atomic.Uint64, labelPairs ...string) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	labels := labelString(labelPairs)
+	r.register(name, labels)
+	r.counters = append(r.counters, counterEntry{name: name, labels: labels, ext: v})
+}
+
+// BindCounterFunc exposes a cumulative value computed at snapshot time
+// (e.g. a counter behind another subsystem's lock). fn must be safe to
+// call from any goroutine. No-op on Nop.
+func (r *Registry) BindCounterFunc(name string, fn func() uint64, labelPairs ...string) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	labels := labelString(labelPairs)
+	r.register(name, labels)
+	r.counters = append(r.counters, counterEntry{name: name, labels: labels, fn: fn})
+}
+
+// Gauge registers and returns a settable gauge (nil on Nop).
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	labels := labelString(labelPairs)
+	r.register(name, labels)
+	g := &Gauge{}
+	r.gauges = append(r.gauges, gaugeEntry{name: name, labels: labels, g: g})
+	return g
+}
+
+// BindGaugeFunc exposes a gauge computed at snapshot time (sizes held
+// behind other locks, for example store occupancy). No-op on Nop.
+func (r *Registry) BindGaugeFunc(name string, fn func() int64, labelPairs ...string) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	labels := labelString(labelPairs)
+	r.register(name, labels)
+	r.gauges = append(r.gauges, gaugeEntry{name: name, labels: labels, fn: fn})
+}
+
+// Histogram registers and returns a latency histogram (nil on Nop).
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	labels := labelString(labelPairs)
+	r.register(name, labels)
+	h := &Histogram{}
+	r.hists = append(r.hists, histEntry{name: name, labels: labels, h: h})
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// HistValue is one histogram in a snapshot.
+type HistValue struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Hist   HistSnapshot
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// sorted by (name, labels). Snapshots support Sub (interval deltas) and
+// feed both renderers.
+type Snapshot struct {
+	Counters []CounterValue
+	Gauges   []GaugeValue
+	Hists    []HistValue
+}
+
+// Snapshot captures every registered metric. Values are read atomically
+// per metric; the set is not a consistent cut across metrics.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if !r.Enabled() {
+		return s
+	}
+	r.mu.Lock()
+	counters := append([]counterEntry(nil), r.counters...)
+	gauges := append([]gaugeEntry(nil), r.gauges...)
+	hists := append([]histEntry(nil), r.hists...)
+	r.mu.Unlock()
+	for _, e := range counters {
+		var v uint64
+		switch {
+		case e.c != nil:
+			v = e.c.Load()
+		case e.ext != nil:
+			v = e.ext.Load()
+		case e.fn != nil:
+			v = e.fn()
+		}
+		s.Counters = append(s.Counters, CounterValue{Name: e.name, Labels: e.labels, Value: v})
+	}
+	for _, e := range gauges {
+		var v int64
+		if e.g != nil {
+			v = e.g.Load()
+		} else if e.fn != nil {
+			v = e.fn()
+		}
+		s.Gauges = append(s.Gauges, GaugeValue{Name: e.name, Labels: e.labels, Value: v})
+	}
+	for _, e := range hists {
+		s.Hists = append(s.Hists, HistValue{Name: e.name, Labels: e.labels, Hist: e.h.SnapshotHist()})
+	}
+	sortSnapshot(&s)
+	return s
+}
+
+func sortSnapshot(s *Snapshot) {
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return s.Counters[i].Labels < s.Counters[j].Labels
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return s.Gauges[i].Labels < s.Gauges[j].Labels
+	})
+	sort.Slice(s.Hists, func(i, j int) bool {
+		if s.Hists[i].Name != s.Hists[j].Name {
+			return s.Hists[i].Name < s.Hists[j].Name
+		}
+		return s.Hists[i].Labels < s.Hists[j].Labels
+	})
+}
+
+// Sub returns the interval delta s − prev: counters and histogram counts
+// subtract (metrics new in s pass through); gauges keep their current
+// value, since a gauge delta is rarely meaningful.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{Gauges: append([]GaugeValue(nil), s.Gauges...)}
+	oldC := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		oldC[c.Name+"{"+c.Labels+"}"] = c.Value
+	}
+	for _, c := range s.Counters {
+		c.Value -= oldC[c.Name+"{"+c.Labels+"}"]
+		out.Counters = append(out.Counters, c)
+	}
+	oldH := make(map[string]HistSnapshot, len(prev.Hists))
+	for _, h := range prev.Hists {
+		oldH[h.Name+"{"+h.Labels+"}"] = h.Hist
+	}
+	for _, h := range s.Hists {
+		h.Hist = h.Hist.Sub(oldH[h.Name+"{"+h.Labels+"}"])
+		out.Hists = append(out.Hists, h)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histograms are emitted with cumulative
+// `_bucket{le="..."}` series over the non-empty buckets (bounds in
+// seconds, the Prometheus convention for latency), plus `_sum` and
+// `_count`. A `# TYPE` line is emitted once per metric family.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastType := ""
+	for _, c := range s.Counters {
+		if c.Name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.Name); err != nil {
+				return err
+			}
+			lastType = c.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, promLabels(c.Labels), c.Value); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, g := range s.Gauges {
+		if g.Name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name); err != nil {
+				return err
+			}
+			lastType = g.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", g.Name, promLabels(g.Labels), g.Value); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, h := range s.Hists {
+		if h.Name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+				return err
+			}
+			lastType = h.Name
+		}
+		cum := uint64(0)
+		for _, b := range h.Hist.Buckets {
+			cum += b.Count
+			le := strconv.FormatFloat(float64(b.UpperNanos)/1e9, 'g', -1, 64)
+			if b.UpperNanos == math.MaxUint64 {
+				le = "+Inf"
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				h.Name, promLabels(joinLabels(h.Labels, `le="`+le+`"`)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			h.Name, promLabels(joinLabels(h.Labels, `le="+Inf"`)), h.Hist.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, promLabels(h.Labels),
+			strconv.FormatFloat(float64(h.Hist.SumNanos)/1e9, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabels wraps a rendered label string in braces, or returns "" for
+// the unlabeled case.
+func promLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels appends one extra rendered label to an existing label set.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// jsonHist is the JSON view of one histogram: the summary statistics an
+// operator actually reads, derived from the buckets at render time.
+type jsonHist struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+type jsonSnapshot struct {
+	Counters   []CounterValue `json:"counters"`
+	Gauges     []GaugeValue   `json:"gauges"`
+	Histograms []jsonHist     `json:"histograms"`
+}
+
+// WriteJSON renders the snapshot as a JSON document: raw counter and
+// gauge values plus per-histogram count/mean/p50/p90/p99/p99.9/max in
+// milliseconds.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	js := jsonSnapshot{Counters: s.Counters, Gauges: s.Gauges, Histograms: []jsonHist{}}
+	if js.Counters == nil {
+		js.Counters = []CounterValue{}
+	}
+	if js.Gauges == nil {
+		js.Gauges = []GaugeValue{}
+	}
+	for _, h := range s.Hists {
+		jh := jsonHist{
+			Name:   h.Name,
+			Labels: h.Labels,
+			Count:  h.Hist.Count,
+			MeanMs: round3(h.Hist.MeanNanos() / 1e6),
+			P50Ms:  round3(h.Hist.Quantile(0.50) / 1e6),
+			P90Ms:  round3(h.Hist.Quantile(0.90) / 1e6),
+			P99Ms:  round3(h.Hist.Quantile(0.99) / 1e6),
+			P999Ms: round3(h.Hist.Quantile(0.999) / 1e6),
+		}
+		if n := len(h.Hist.Buckets); n > 0 {
+			jh.MaxMs = round3(float64(h.Hist.Buckets[n-1].LowerNanos) / 1e6)
+		}
+		js.Histograms = append(js.Histograms, jh)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+// round3 keeps three decimals — enough for ms-scale latency reporting
+// without drowning the JSON in float noise.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}

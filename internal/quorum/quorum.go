@@ -2,6 +2,11 @@
 // replicas per shard (paper §3, §4.2, §4.5) and the classification of
 // stage-1 vote tallies into the paper's five outcome cases, plus validation
 // of vote certificates (V-CERT / C-CERT / A-CERT).
+//
+// Ownership: Config and Verifier are immutable after construction and
+// safe for concurrent use; Verifier fans batch signature checks out
+// through an optional shared cryptoutil.VerifyPool and holds no locks of
+// its own.
 package quorum
 
 import (

@@ -278,6 +278,11 @@ func (r *Replica) Checkpoint(watermark types.Timestamp) error {
 	if r.wal == nil {
 		return nil
 	}
+	start := time.Now()
+	defer func() {
+		r.mx.ckpts.Inc()
+		r.mx.checkpoint.Since(start)
+	}()
 	r.store.GC(watermark)
 	return r.wal.Checkpoint(func() []byte {
 		// Drain finalizes that logged their record before the rotation

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -99,6 +100,13 @@ type Config struct {
 	// only: it models the paper's "equiv-forced" worst case, where clients
 	// are artificially allowed to log conflicting decisions at will.
 	AllowUnvalidatedST2 bool
+
+	// Metrics is the registry this replica registers its instruments on
+	// (counters, deliver-latency histograms, WAL/checkpoint timings,
+	// store gauges). Nil creates a private registry, exposed via
+	// Replica.Metrics; pass metrics.Nop to disable instrumentation
+	// entirely (benchmark baselines).
+	Metrics *metrics.Registry
 }
 
 // ByzantineStrategy lets the fault harness corrupt a replica's visible
@@ -213,6 +221,11 @@ type Replica struct {
 	closeOnce sync.Once
 
 	Stats Stats
+
+	// reg is the metrics registry; mx the live instrument handles bound
+	// on it (see metrics.go). Both are fixed at construction.
+	reg *metrics.Registry
+	mx  replicaMetrics
 }
 
 // New constructs and registers a replica on cfg.Net. With a DataDir it
@@ -263,12 +276,24 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 	r.shardAddrs = transport.ShardAddrs(cfg.Shard, r.qc.N())
 	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
 	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf, Pool: r.pool}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	r.initMetrics(reg)
 	if dir != "" {
-		l, recov, err := wal.Open(wal.Options{Dir: dir, FlushDelay: cfg.WALFlushDelay})
+		l, recov, err := wal.Open(wal.Options{
+			Dir:           dir,
+			FlushDelay:    cfg.WALFlushDelay,
+			AppendLatency: reg.Histogram("basil_wal_append_latency_seconds"),
+			SyncLatency:   reg.Histogram("basil_wal_fsync_latency_seconds"),
+			PruneFailures: reg.Counter("basil_wal_prune_failures_total"),
+		})
 		if err != nil {
 			return nil, err
 		}
 		r.wal = l
+		r.bindWALMetrics()
 		if err := r.replay(recov); err != nil {
 			l.Close()
 			return nil, err
@@ -326,25 +351,44 @@ func (r *Replica) Deliver(from transport.Addr, msg any) {
 	r.pool.Go(func() { r.dispatch(from, msg) })
 }
 
-// dispatch routes one message to its handler on a pool worker.
+// dispatch routes one message to its handler on a pool worker, timing
+// the handler into the per-kind deliver-latency histogram. The clock
+// reads are skipped entirely when metrics are disabled (mx.timed false),
+// keeping the Nop configuration an honest uninstrumented baseline.
 func (r *Replica) dispatch(from transport.Addr, msg any) {
+	var t0 time.Time
+	if r.mx.timed {
+		t0 = time.Now()
+	}
+	kind := -1
 	switch m := msg.(type) {
 	case *types.ReadRequest:
+		kind = kindRead
 		r.onRead(from, m)
 	case *types.AbortRead:
+		kind = kindAbortRead
 		r.store.DropRTS(m.Keys, m.Ts)
 	case *types.ST1Request:
+		kind = kindST1
 		r.onST1(from, m)
 	case *types.ST2Request:
+		kind = kindST2
 		r.onST2(from, m)
 	case *types.WritebackRequest:
+		kind = kindWriteback
 		r.onWriteback(from, m)
 	case *types.InvokeFB:
+		kind = kindInvokeFB
 		r.onInvokeFB(from, m)
 	case *types.ElectFB:
+		kind = kindElectFB
 		r.onElectFB(from, m)
 	case *types.DecFB:
+		kind = kindDecFB
 		r.onDecFB(from, m)
+	}
+	if r.mx.timed && kind >= 0 {
+		r.mx.deliver[kind].Since(t0)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -74,6 +75,27 @@ func deliverPipeline(sv *cryptoutil.SigVerifier, s *Store, m *signedST1) {
 	s.CheckAndPrepare(m.meta, m.id)
 }
 
+// deliverPipelineMetrics is deliverPipeline plus exactly the
+// instrumentation the replica's dispatch wraps around it when metrics
+// are live: the per-kind deliver-latency clock pair. The store-side
+// counters ride along when the store was built by metricsStore. The
+// pipeline-vs-pipeline-metrics gap is therefore the full observability
+// tax on the hot path (acceptance bound: <2%).
+func deliverPipelineMetrics(sv *cryptoutil.SigVerifier, s *Store, h *metrics.Histogram, m *signedST1) {
+	t0 := time.Now()
+	deliverPipeline(sv, s, m)
+	h.Since(t0)
+}
+
+// metricsStore builds a striped store with live instrumentation (the
+// counters a replica installs via SetMetrics) plus a deliver histogram.
+func metricsStore() (*Store, *metrics.Histogram) {
+	reg := metrics.NewRegistry()
+	s := NewStriped(DefaultStripes)
+	s.SetMetrics(RegistryMetrics(reg))
+	return s, reg.Histogram("basil_replica_deliver_latency_seconds", "kind", "st1")
+}
+
 // BenchmarkPrepareParallel compares the replica ingest architectures on a
 // disjoint-key prepare workload at whatever GOMAXPROCS is in effect
 // (`make bench` pins 4). Each op is one delivered, signed ST1 and every
@@ -115,6 +137,19 @@ func BenchmarkPrepareParallel(b *testing.B) {
 				m := &msgs[int(seq.Add(1))%len(msgs)]
 				deliverPipeline(sv, s, m)
 				deliverPipeline(sv, s, m)
+			}
+		})
+	})
+	b.Run("pipeline-metrics", func(b *testing.B) {
+		sv := cryptoutil.NewSigVerifier(reg, 4096)
+		s, h := metricsStore()
+		var seq atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				m := &msgs[int(seq.Add(1))%len(msgs)]
+				deliverPipelineMetrics(sv, s, h, m)
+				deliverPipelineMetrics(sv, s, h, m)
 			}
 		})
 	})
@@ -221,12 +256,22 @@ func TestWriteParallelBench(t *testing.T) {
 		msgs := genSignedST1s(reg, total)
 		return measureFixed(total, 4, func(m *signedST1) { deliverPipeline(sv, s, m) }, msgs)
 	})
+	metricsNs := best(func() float64 {
+		sv := cryptoutil.NewSigVerifier(reg, total)
+		s, h := metricsStore()
+		msgs := genSignedST1s(reg, total)
+		return measureFixed(total, 4, func(m *signedST1) { deliverPipelineMetrics(sv, s, h, m) }, msgs)
+	})
 
 	out := struct {
 		Benchmark string                `json:"benchmark"`
 		Workload  string                `json:"workload"`
 		Results   []parallelBenchResult `json:"results"`
 		Speedup   float64               `json:"speedup_pipeline_over_seed"`
+		// MetricsOverheadPct is the observability tax: the pipeline with
+		// live metrics (deliver-latency histogram + store counters)
+		// relative to the uninstrumented pipeline. Must stay below 2.
+		MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
 	}{
 		Benchmark: "BenchmarkPrepareParallel",
 		Workload:  "disjoint-key signed prepares, every message delivered twice (re-delivery/tally re-carriage)",
@@ -235,8 +280,11 @@ func TestWriteParallelBench(t *testing.T) {
 				NsPerOp: seedNs, PreparesPerSec: 1e9 / seedNs},
 			{Name: "pipeline (off-lock cached verify, striped store)", Stripes: DefaultStripes, GoMaxProcs: 4,
 				NsPerOp: pipeNs, PreparesPerSec: 1e9 / pipeNs},
+			{Name: "pipeline-metrics (live deliver histogram + store counters)", Stripes: DefaultStripes, GoMaxProcs: 4,
+				NsPerOp: metricsNs, PreparesPerSec: 1e9 / metricsNs},
 		},
-		Speedup: seedNs / pipeNs,
+		Speedup:            seedNs / pipeNs,
+		MetricsOverheadPct: (metricsNs - pipeNs) / pipeNs * 100,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -246,6 +294,6 @@ func TestWriteParallelBench(t *testing.T) {
 	if err := os.WriteFile(*parallelBenchOut, data, 0o644); err != nil {
 		t.Fatalf("write %s: %v", *parallelBenchOut, err)
 	}
-	t.Logf("seed-serial: %.0f ns/op, pipeline: %.0f ns/op, speedup %.2fx",
-		seedNs, pipeNs, out.Speedup)
+	t.Logf("seed-serial: %.0f ns/op, pipeline: %.0f ns/op (speedup %.2fx), with metrics: %.0f ns/op (overhead %.2f%%)",
+		seedNs, pipeNs, out.Speedup, metricsNs, out.MetricsOverheadPct)
 }

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -108,6 +109,42 @@ type Store struct {
 	// line-12 coarse filter even on keys with no live RTS. Set once by
 	// restart (SetRTSFloor), read under the shared global lock.
 	rtsFloor types.Timestamp
+
+	// m holds optional instrumentation hooks. All fields are nil-safe
+	// no-ops until SetMetrics installs live counters, so the hot paths
+	// pay one nil check when observability is off.
+	m Metrics
+}
+
+// Metrics are the store's instrumentation hooks (see internal/metrics):
+// CheckAndPrepare outcomes, the RTS-rejection subset of aborts (Algorithm
+// 1 line 12 — a writer refused because a higher-timestamped read is
+// outstanding), and GC activity. Install with SetMetrics before serving.
+type Metrics struct {
+	Prepares      *metrics.Counter // CheckAndPrepare calls (any outcome)
+	PrepareOKs    *metrics.Counter // outcomes that installed the prepare
+	RTSRejections *metrics.Counter // aborts from outstanding RTS / floor
+	GCRuns        *metrics.Counter // GC invocations
+	GCCollected   *metrics.Counter // entries GC dropped, cumulative
+}
+
+// SetMetrics installs instrumentation counters. Call once, before the
+// store serves traffic (the fields are read without synchronization).
+func (s *Store) SetMetrics(m Metrics) { s.m = m }
+
+// RegistryMetrics builds the canonical Metrics set on reg — the single
+// definition of what a live replica installs, shared by the replica
+// wiring and by the overhead benchmarks so the measured "observability
+// tax" cannot silently diverge from real instrumentation. Label pairs
+// apply to every counter.
+func RegistryMetrics(reg *metrics.Registry, labelPairs ...string) Metrics {
+	return Metrics{
+		Prepares:      reg.Counter("basil_store_prepares_total", labelPairs...),
+		PrepareOKs:    reg.Counter("basil_store_prepare_ok_total", labelPairs...),
+		RTSRejections: reg.Counter("basil_store_rts_rejections_total", labelPairs...),
+		GCRuns:        reg.Counter("basil_store_gc_runs_total", labelPairs...),
+		GCCollected:   reg.Counter("basil_store_gc_collected_total", labelPairs...),
+	}
 }
 
 // New creates an empty store with DefaultStripes lock stripes.
@@ -367,6 +404,7 @@ type CheckResult struct {
 // involved key's stripe for the whole check-and-install; transactions on
 // disjoint stripes proceed in parallel.
 func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
+	s.m.Prepares.Add(1)
 	s.global.RLock()
 	defer s.global.RUnlock()
 	if s.txLookup(id) != nil {
@@ -409,6 +447,7 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 	// timestamp at or below the floor, so writers beneath it are refused
 	// exactly as the lost per-key entries would have refused them.
 	if len(meta.WriteSet) > 0 && ts.Less(s.rtsFloor) {
+		s.m.RTSRejections.Add(1)
 		return CheckResult{Outcome: CheckAbort}
 	}
 	for _, w := range meta.WriteSet {
@@ -432,6 +471,7 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 		}
 		if ts.Less(e.maxRTS) {
 			// Line 12: an ongoing read with a higher timestamp exists.
+			s.m.RTSRejections.Add(1)
 			return CheckResult{Outcome: CheckAbort}
 		}
 	}
@@ -461,6 +501,7 @@ func (s *Store) CheckAndPrepare(meta *types.TxMeta, id types.TxID) CheckResult {
 		// lower-timestamped writer on a hot key forever).
 		e.dropRTS(ts)
 	}
+	s.m.PrepareOKs.Add(1)
 	return CheckResult{Outcome: CheckOK}
 }
 
@@ -651,6 +692,7 @@ func (s *Store) SetRTSFloor(ts types.Timestamp) {
 // unreachable history except the newest committed version per key, which
 // later reads still resolve to.
 func (s *Store) GC(watermark types.Timestamp) int {
+	s.m.GCRuns.Add(1)
 	s.global.Lock()
 	defer s.global.Unlock()
 	dropped := 0
@@ -732,6 +774,7 @@ func (s *Store) GC(watermark types.Timestamp) int {
 		delete(s.txns, id)
 		dropped++
 	}
+	s.m.GCCollected.Add(uint64(dropped))
 	return dropped
 }
 

@@ -5,7 +5,7 @@
 // path, and a single-round-trip fast path when all replicas of every
 // shard agree on the prepare verdict.
 //
-// Substitution note (DESIGN.md): this is a behavioral stand-in for the
+// Substitution note (docs/benchmarking.md): this is a behavioral stand-in for the
 // original C++ TAPIR, preserving the properties the paper's comparison
 // rests on — no cryptography, small quorums, 1-RTT commits — rather than
 // the exact IR view-change machinery.

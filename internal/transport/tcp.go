@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -63,6 +64,36 @@ type TCP struct {
 	ln     net.Listener
 	closed bool
 	wg     sync.WaitGroup
+
+	// Wire counters (nil-safe no-ops unless TCPOptions.Metrics was set).
+	mx tcpMetrics
+}
+
+// tcpMetrics are the transport's instrument handles; see TCPOptions.Metrics.
+type tcpMetrics struct {
+	framesOut, bytesOut *metrics.Counter
+	framesIn, bytesIn   *metrics.Counter
+	dials, dialFails    *metrics.Counter
+	backoffDrops        *metrics.Counter
+	broadcasts, fanout  *metrics.Counter
+}
+
+// initTCPMetrics registers the wire counters. reg may be nil (off).
+func initTCPMetrics(reg *metrics.Registry) tcpMetrics {
+	if reg == nil {
+		reg = metrics.Nop
+	}
+	return tcpMetrics{
+		framesOut:    reg.Counter("basil_net_frames_total", "dir", "out"),
+		bytesOut:     reg.Counter("basil_net_bytes_total", "dir", "out"),
+		framesIn:     reg.Counter("basil_net_frames_total", "dir", "in"),
+		bytesIn:      reg.Counter("basil_net_bytes_total", "dir", "in"),
+		dials:        reg.Counter("basil_net_dials_total"),
+		dialFails:    reg.Counter("basil_net_dial_failures_total"),
+		backoffDrops: reg.Counter("basil_net_backoff_drops_total"),
+		broadcasts:   reg.Counter("basil_net_broadcasts_total"),
+		fanout:       reg.Counter("basil_net_broadcast_dests_total"),
+	}
 }
 
 // TCPOptions tunes a TCP network. The zero value selects the defaults.
@@ -85,6 +116,10 @@ type TCPOptions struct {
 	// down; sends to it during the window are dropped without dialing.
 	// Default 1s.
 	DialBackoff time.Duration
+	// Metrics, if non-nil, registers the transport's wire counters
+	// (frames/bytes in and out, dials and backoff drops, broadcast
+	// fanout) on the given registry. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 func (o *TCPOptions) withDefaults() {
@@ -223,6 +258,7 @@ func NewTCPOpts(listen string, book map[Addr]string, opts TCPOptions) (*TCP, err
 		reverse:  make(map[Addr]*tcpConn),
 		live:     make(map[*tcpConn]struct{}),
 		down:     make(map[string]time.Time),
+		mx:       initTCPMetrics(opts.Metrics),
 	}
 	t.dialFn = func(hostport string) (net.Conn, error) {
 		return net.DialTimeout("tcp", hostport, t.opts.DialTimeout)
@@ -306,8 +342,12 @@ func (t *TCP) writeLoop(c *tcpConn) {
 		if _, err := bw.Write(frame.hdr[:]); err != nil {
 			return false
 		}
-		_, err := bw.Write(frame.body)
-		return err == nil
+		if _, err := bw.Write(frame.body); err != nil {
+			return false
+		}
+		t.mx.framesOut.Inc()
+		t.mx.bytesOut.Add(uint64(len(frame.hdr) + len(frame.body)))
+		return true
 	}
 	for {
 		select {
@@ -368,6 +408,8 @@ func (t *TCP) readLoop(c *tcpConn, learnReverse bool) {
 		if err != nil || len(rest) != 0 {
 			return
 		}
+		t.mx.framesIn.Inc()
+		t.mx.bytesIn.Add(uint64(4 + n))
 		t.mu.Lock()
 		h := t.handlers[to]
 		if learnReverse {
@@ -436,6 +478,10 @@ func (t *TCP) Send(from, to Addr, msg any) {
 // every remote destination's frame shares that body, stamped with its own
 // header. Local destinations reuse the decoded value directly.
 func (t *TCP) SendAll(from Addr, tos []Addr, msg any) {
+	if len(tos) > 1 {
+		t.mx.broadcasts.Inc()
+		t.mx.fanout.Add(uint64(len(tos)))
+	}
 	var body []byte
 	unencodable := false
 	for _, to := range tos {
@@ -487,6 +533,7 @@ func (t *TCP) routeLocked(to Addr) *tcpConn {
 	}
 	if until, dead := t.down[hostport]; dead {
 		if time.Now().Before(until) {
+			t.mx.backoffDrops.Inc()
 			return nil // fail-fast: recently unreachable
 		}
 		delete(t.down, hostport)
@@ -510,8 +557,10 @@ func (t *TCP) routeLocked(to Addr) *tcpConn {
 // down for the backoff window and evicts the shell.
 func (t *TCP) dialLoop(c *tcpConn) {
 	defer t.wg.Done()
+	t.mx.dials.Inc()
 	raw, err := t.dialFn(c.hostport)
 	if err != nil {
+		t.mx.dialFails.Inc()
 		t.mu.Lock()
 		t.down[c.hostport] = time.Now().Add(t.opts.DialBackoff)
 		t.mu.Unlock()

@@ -2,6 +2,10 @@
 // Appendix B): it rebuilds Adya's direct serialization graph (DSG) from
 // the transactions correct clients committed and asserts it is acyclic.
 // Tests and the adversarial harness use it as the ground-truth oracle.
+//
+// Ownership: the checkers are pure functions over execution records the
+// caller has already collected; nothing here is concurrent or retains
+// state between calls.
 package verify
 
 import (

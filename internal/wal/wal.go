@@ -38,6 +38,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Segment and checkpoint file naming. Sequence numbers only ever grow;
@@ -81,6 +83,16 @@ type Options struct {
 	// NoSync skips fsync entirely (benchmark baselines only; a crash may
 	// lose acknowledged records).
 	NoSync bool
+
+	// AppendLatency, if non-nil, records each successful Append's total
+	// latency (write + group-commit wait + fsync). SyncLatency records
+	// each fsync the flusher issues. PruneFailures counts checkpoint
+	// prunes that could not remove superseded files (stale segments cost
+	// disk, not correctness — but silent accumulation fills disks). All
+	// are nil-safe no-ops when unset (see internal/metrics).
+	AppendLatency *metrics.Histogram
+	SyncLatency   *metrics.Histogram
+	PruneFailures *metrics.Counter
 }
 
 func (o *Options) withDefaults() {
@@ -192,6 +204,7 @@ func Open(opts Options) (*Log, *Recovered, error) {
 // before it) is durable. Concurrent appenders share the flush window's
 // single fsync.
 func (l *Log) Append(rec []byte) error {
+	start := time.Now()
 	frame := make([]byte, 8+len(rec))
 	binary.BigEndian.PutUint32(frame, uint32(len(rec)))
 	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(rec))
@@ -224,6 +237,7 @@ func (l *Log) Append(rec []byte) error {
 		return ErrClosed
 	}
 	l.stats.Appends++
+	l.opts.AppendLatency.Since(start)
 	return nil
 }
 
@@ -262,7 +276,9 @@ func (l *Log) flusher() {
 
 		var err error
 		if !l.opts.NoSync {
+			syncStart := time.Now()
 			err = f.Sync()
+			l.opts.SyncLatency.Since(syncStart)
 		}
 
 		l.mu.Lock()
@@ -387,7 +403,16 @@ func (l *Log) Checkpoint(snap func() []byte) error {
 			return err
 		}
 	}
-	return prune(l.opts.Dir, cut)
+	// Best-effort prune: the checkpoint is fully published and durable at
+	// this point, so a failure here (e.g. a transient ReadDir error)
+	// costs stale files on disk, not correctness. Escalating it would
+	// make the replica mute itself over promises that are all safely on
+	// disk; the next checkpoint retries. Counted so persistent failures
+	// (disk filling with superseded segments) are visible in /metrics.
+	if err := prune(l.opts.Dir, cut); err != nil {
+		l.opts.PruneFailures.Inc()
+	}
+	return nil
 }
 
 // Close flushes and syncs everything appended, wakes all waiters, and
@@ -502,6 +527,15 @@ func recoverState(dir string) (*Recovered, uint64, uint64, int64, error) {
 		if seq >= cut {
 			replay = append(replay, seq)
 		}
+	}
+	if cut > 0 && len(replay) == 0 {
+		// The rotation that published ckpt-cut created seg-cut before the
+		// checkpoint was renamed into place, so a checkpoint with no
+		// segment at (or after) its cut means the post-checkpoint history
+		// was deleted out from under us. Replaying snapshot-only would
+		// silently forget every promise appended after the checkpoint;
+		// refuse instead.
+		return nil, 0, 0, 0, fmt.Errorf("%w: checkpoint %d has no segment at its cut", ErrCorrupt, cut)
 	}
 	if len(replay) > 0 {
 		want := cut

@@ -424,3 +424,32 @@ func TestWALFrameCRC(t *testing.T) {
 		t.Fatalf("payload mismatch")
 	}
 }
+
+func TestWALCheckpointWithoutCutSegmentRefused(t *testing.T) {
+	// The rotation that publishes ckpt-N durably creates seg-N first, so
+	// a checkpoint with no segment at (or after) its cut means the
+	// post-checkpoint suffix was deleted. Replaying snapshot-only would
+	// silently forget every promise appended after the checkpoint —
+	// recovery must refuse, exactly like a mid-suffix gap.
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := l.Append(recN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(func() []byte { return []byte("snap") }); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Promises appended after the checkpoint live in the cut segment.
+	if err := l.Append([]byte("post-checkpoint-promise")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.Remove(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if _, _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a checkpoint whose cut segment is gone (post-checkpoint records silently dropped)")
+	}
+}

@@ -2,6 +2,11 @@
 // YCSB-T (§6.2), Smallbank, Retwis and TPC-C (§6.1) — as generators over a
 // generic transactional key-value interface, so the same workload drives
 // Basil, TAPIR and the ordered-log baselines.
+//
+// Ownership: a Generator is shared across client goroutines but all
+// randomness flows through the per-client *rand.Rand passed to Next, so
+// generators hold no mutable state and runs are reproducible from the
+// harness seed.
 package workload
 
 import (

@@ -1,0 +1,72 @@
+// Command doccheck fails (exit 1) when any Go package under the given
+// roots lacks a package-level doc comment. A package's role and its
+// locking/ownership rules belong in a doc comment where godoc and the
+// next builder can find them — `make doc-check` keeps that from rotting
+// as packages are added.
+//
+// Usage: doccheck ROOT [ROOT...]  (e.g. doccheck ./internal ./basil)
+//
+// A package is documented when at least one of its non-test .go files
+// carries a doc comment on its package clause. Test-only packages
+// (_test.go files only) are skipped.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck ROOT [ROOT...]")
+		os.Exit(2)
+	}
+	// dir -> whether any non-test file documents the package.
+	documented := make(map[string]bool)
+	hasGo := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, root := range os.Args[1:] {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			hasGo[dir] = true
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				documented[dir] = true
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var missing []string
+	for dir := range hasGo {
+		if !documented[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	sort.Strings(missing)
+	for _, dir := range missing {
+		fmt.Printf("doccheck: package in %s has no package doc comment\n", dir)
+	}
+	if len(missing) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d packages documented\n", len(hasGo))
+}
