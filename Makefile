@@ -4,13 +4,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race race bench doc-check linkcheck
+.PHONY: check lint fmt vet build test test-race race bench doc-check linkcheck invariant-check
 
-check: fmt vet build doc-check linkcheck test test-race
+check: fmt vet build doc-check linkcheck invariant-check test test-race
+
+# All static gates without the test suites — the fast pre-commit loop.
+lint: vet doc-check linkcheck invariant-check
 
 fmt:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +31,13 @@ doc-check:
 linkcheck:
 	$(GO) run ./tools/linkcheck README.md ARCHITECTURE.md docs
 
+# Project invariants go vet cannot see — lock discipline, log-before-
+# externalize, error/goroutine hygiene, metrics tax and definition sites;
+# tools/basilvet fails on unjustified violations (codes BV000-BV006,
+# documented in ARCHITECTURE.md "Machine-checked invariants").
+invariant-check:
+	$(GO) run ./tools/basilvet ./internal/... ./basil ./cmd/...
+
 test:
 	$(GO) test ./...
 
@@ -35,11 +45,13 @@ test:
 # body sharing), client reply collection, the replica's parallel ingest
 # pipeline, the striped store, the WAL's group-commit flusher, and the
 # metrics record path (lock-free histograms hammered from many
-# goroutines) must stay race-clean; the crash-restart battery
-# (race-scaled via the raceEnabled build tag) rides along so durability
-# regressions are caught locally. Runs as part of `make check`.
+# goroutines) must stay race-clean, along with the quorum tally/verifier
+# paths, the bench harness that drives clusters from many client
+# goroutines, the wire codec, and the signature pool; the crash-restart
+# battery (race-scaled via the raceEnabled build tag) rides along so
+# durability regressions are caught locally. Runs as part of `make check`.
 test-race:
-	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/
+	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/ ./internal/quorum/ ./internal/benchharness/ ./internal/types/ ./internal/cryptoutil/
 	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica'
 
 # The transport and codec tests are required to pass under the race

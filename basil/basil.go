@@ -161,6 +161,8 @@ type Cluster struct {
 	ownNet  bool
 	tcpBook map[transport.Addr]string // TCPLoopback address book
 
+	// tcpMu guards tcpNets: TCPLoopback clients register transports
+	// concurrently with Close tearing them down.
 	tcpMu   sync.Mutex
 	tcpNets []*transport.TCP // every owned TCP transport; guarded by tcpMu
 

@@ -318,3 +318,39 @@ func TestConflictingWritersOneAborts(t *testing.T) {
 		t.Fatalf("no transaction ever committed")
 	}
 }
+
+// TestClientLatencyHistogramsRecord drives one read-modify-write through
+// a live cluster and asserts the client's latency histograms actually
+// observed it. This is the end-to-end regression guard for the
+// metrics-tax gating (basilvet BV005): the client only reads the clock
+// when its registry is enabled, and this test pins that the enabled side
+// still records read, commit, and whole-transaction samples.
+func TestClientLatencyHistogramsRecord(t *testing.T) {
+	cl := basil.NewCluster(basil.Options{F: 1, Shards: 1})
+	defer cl.Close()
+	cl.Load("x", enc(1))
+
+	c := cl.NewClient()
+	tx := c.Begin()
+	if _, err := tx.Read("x"); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	tx.Write("x", enc(2))
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	counts := map[string]uint64{}
+	for _, h := range c.Inner().Metrics().Snapshot().Hists {
+		counts[h.Name] += h.Hist.Count
+	}
+	for _, name := range []string{
+		"basil_client_read_latency_seconds",
+		"basil_client_commit_latency_seconds",
+		"basil_client_txn_latency_seconds",
+	} {
+		if counts[name] == 0 {
+			t.Errorf("%s recorded no samples after a committed transaction", name)
+		}
+	}
+}

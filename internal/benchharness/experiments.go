@@ -564,6 +564,7 @@ func FigDurability(s Scale) Table {
 			panic(fmt.Sprintf("benchharness: walbench tmpdir: %v", err))
 		}
 		perSec, fsyncsPer, err := walAppendSweep(dir, window, appenders, total)
+		//nolint:basilvet — bench temp dir: a failed cleanup leaks a tmpdir, nothing more, and surfacing it would obscure the sweep error below.
 		os.RemoveAll(dir)
 		if err != nil {
 			panic(fmt.Sprintf("benchharness: walbench: %v", err))

@@ -13,7 +13,6 @@ package client
 
 import (
 	"errors"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,7 +101,9 @@ type Client struct {
 	qv   *quorum.Verifier
 	sv   *cryptoutil.SigVerifier
 
-	reqSeq  atomic.Uint64
+	reqSeq atomic.Uint64
+	// mu guards pending and recovered; held only for map bookkeeping,
+	// never across a network wait.
 	mu      sync.Mutex
 	pending map[uint64]chan any
 	// recent recovery attempts, for deduplication.
@@ -111,8 +112,11 @@ type Client struct {
 	Stats Stats
 
 	// reg is the metrics registry; the histograms are nil-safe no-op
-	// handles when instrumentation is off (metrics.Nop).
+	// handles when instrumentation is off (metrics.Nop). timed caches
+	// reg.Enabled() so hot paths skip clock reads entirely when
+	// instrumentation is off (the metrics-tax rule, basilvet BV005).
 	reg     *metrics.Registry
+	timed   bool
 	hRead   *metrics.Histogram // one network Read op
 	hCommit *metrics.Histogram // one Commit call (prepare + writeback)
 	hTxn    *metrics.Histogram // end-to-end Begin -> successful commit
@@ -169,22 +173,7 @@ func New(cfg Config) *Client {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	c.reg = reg
-	// Every instrument carries a client label so multiple clients can
-	// share one registry (and one /metrics page) without name collisions.
-	lbl := []string{"client", strconv.Itoa(int(cfg.ID))}
-	reg.BindCounter("basil_client_tx_begun_total", &c.Stats.TxBegun, lbl...)
-	reg.BindCounter("basil_client_tx_committed_total", &c.Stats.TxCommitted, lbl...)
-	reg.BindCounter("basil_client_tx_aborted_total", &c.Stats.TxAborted, lbl...)
-	reg.BindCounter("basil_client_fastpath_total", &c.Stats.FastPathTaken, lbl...)
-	reg.BindCounter("basil_client_slowpath_total", &c.Stats.SlowPathTaken, lbl...)
-	reg.BindCounter("basil_client_deps_acquired_total", &c.Stats.DepsAcquired, lbl...)
-	reg.BindCounter("basil_client_recoveries_total", &c.Stats.Recoveries, lbl...)
-	reg.BindCounter("basil_client_fallback_rounds_total", &c.Stats.FallbackRounds, lbl...)
-	reg.BindCounter("basil_client_read_retries_total", &c.Stats.ReadRetries, lbl...)
-	c.hRead = reg.Histogram("basil_client_read_latency_seconds", lbl...)
-	c.hCommit = reg.Histogram("basil_client_commit_latency_seconds", lbl...)
-	c.hTxn = reg.Histogram("basil_client_txn_latency_seconds", lbl...)
+	c.initMetrics(reg)
 	cfg.Net.Register(c.addr, c)
 	return c
 }

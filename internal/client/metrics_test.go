@@ -1,0 +1,45 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestInitMetricsGating pins the metrics-tax latch (basilvet BV005): a
+// live registry must arm the timed flag and hand out recording
+// histograms, and the Nop registry must disarm it with nil-safe no-op
+// handles — the shape Begin/Read/Commit rely on to skip clock reads
+// when instrumentation is off without ever dropping samples when it is
+// on.
+func TestInitMetricsGating(t *testing.T) {
+	live := &Client{cfg: Config{ID: 7}}
+	live.initMetrics(metrics.NewRegistry())
+	if !live.timed {
+		t.Fatal("live registry must set timed (hot paths would skip all clock reads)")
+	}
+	for name, h := range map[string]*metrics.Histogram{
+		"hRead": live.hRead, "hCommit": live.hCommit, "hTxn": live.hTxn,
+	} {
+		if h == nil {
+			t.Fatalf("%s is nil on a live registry", name)
+		}
+	}
+	live.hRead.Since(time.Now())
+	if got := live.hRead.Count(); got != 1 {
+		t.Fatalf("live read histogram recorded %d samples, want 1", got)
+	}
+
+	off := &Client{cfg: Config{ID: 8}}
+	off.initMetrics(metrics.Nop)
+	if off.timed {
+		t.Fatal("Nop registry must clear timed (disabled metrics still pay for time.Now)")
+	}
+	// Nop handles are nil and must stay safe to call: the gated paths
+	// skip them, but ungated counters elsewhere rely on nil no-ops.
+	off.hRead.Since(time.Now())
+	if got := off.hRead.Count(); got != 0 {
+		t.Fatalf("nop histogram recorded %d samples, want 0", got)
+	}
+}

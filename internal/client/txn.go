@@ -33,9 +33,8 @@ type Txn struct {
 // Begin starts a transaction with a client-chosen timestamp (paper §4.1).
 func (c *Client) Begin() *Txn {
 	c.Stats.TxBegun.Add(1)
-	return &Txn{
+	t := &Txn{
 		c:        c,
-		begun:    time.Now(),
 		ts:       types.Timestamp{Time: c.now(), ClientID: uint64(c.cfg.ID)},
 		readKeys: make(map[string]bool),
 		readVals: make(map[string][]byte),
@@ -43,6 +42,10 @@ func (c *Client) Begin() *Txn {
 		deps:     make(map[types.TxID]types.Dependency),
 		depMetas: make(map[types.TxID]*types.TxMeta),
 	}
+	if c.timed {
+		t.begun = time.Now()
+	}
+	return t
 }
 
 // Timestamp returns the transaction's MVTSO timestamp.
@@ -84,7 +87,9 @@ func (t *Txn) Read(key string) ([]byte, error) {
 		return t.readVals[key], nil
 	}
 	c := t.c
-	defer c.hRead.Since(time.Now())
+	if c.timed {
+		defer c.hRead.Since(time.Now())
+	}
 	shard := c.cfg.ShardOf(key)
 	replicas := c.replicasOf(shard)
 	fanout := c.cfg.ReadWait + c.cfg.F
@@ -329,7 +334,9 @@ func (t *Txn) Commit() error {
 		return ErrAborted
 	}
 	t.finished = true
-	defer t.c.hCommit.Since(time.Now())
+	if t.c.timed {
+		defer t.c.hCommit.Since(time.Now())
+	}
 	if len(t.reads) == 0 && len(t.writes) == 0 {
 		t.c.Stats.TxCommitted.Add(1)
 		t.c.hTxn.Since(t.begun)

@@ -23,6 +23,9 @@ type BatchSigner struct {
 	size     int
 	maxDelay time.Duration
 
+	// mu guards the batch under assembly (pending, timer, closed); it is
+	// a leaf lock held only to append or cut a batch, so Enqueue is safe
+	// to call under callers' own locks.
 	mu      sync.Mutex
 	pending []pendingSig
 	timer   *time.Timer
@@ -145,6 +148,8 @@ func (b *BatchSigner) Close() {
 type SigVerifier struct {
 	reg *Registry
 
+	// mu guards the verification caches and their FIFO eviction order;
+	// ed25519 work runs outside it.
 	mu    sync.Mutex
 	cache map[[32]byte]int32 // verified root -> signer
 	order [][32]byte         // FIFO eviction

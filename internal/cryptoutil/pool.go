@@ -28,6 +28,7 @@ type VerifyPool struct {
 	wg       sync.WaitGroup // workers
 	inflight sync.WaitGroup // accepted, not yet executed tasks
 
+	// mu guards closed, fencing new submissions off from Close.
 	mu     sync.Mutex
 	closed bool
 }

@@ -66,6 +66,8 @@ func (u UnresponsiveReplica) DropRead(string) bool { return u.Reads }
 
 // FlakyReplica misbehaves probabilistically, for randomized stress tests.
 type FlakyReplica struct {
+	// mu guards rng: strategy callbacks arrive from concurrent handlers
+	// and math/rand sources are not goroutine-safe.
 	mu        sync.Mutex
 	rng       *rand.Rand
 	PAbort    float64

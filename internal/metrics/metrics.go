@@ -294,6 +294,8 @@ type histEntry struct {
 type Registry struct {
 	nop bool
 
+	// mu guards registration state (names and the instrument slices);
+	// the record path reads handles without it.
 	mu       sync.Mutex
 	names    map[string]bool
 	counters []counterEntry

@@ -159,6 +159,7 @@ type Verifier struct {
 	// pool is busy or closed.
 	Pool *cryptoutil.VerifyPool
 
+	// mu guards certCache; signature checks run outside it.
 	mu        sync.Mutex
 	certCache map[certKey]bool
 }

@@ -92,6 +92,7 @@ func (r *Replica) logFinal(id types.TxID, meta *types.TxMeta, dec types.Decision
 // walAppend appends one record, muting the replica on failure: state may
 // then be ahead of disk, but nothing further externalizes it.
 func (r *Replica) walAppend(rec []byte) bool {
+	//nolint:basilvet — deliberate design (package doc, "locking"): promise records append under the owning transaction's t.mu so log-before-externalize holds per transaction; the group-commit wait stalls only that transaction, and t.mu is a leaf below no store or r.mu acquisition.
 	if err := r.wal.Append(rec); err != nil {
 		r.walFailed.Store(true)
 		return false
@@ -187,6 +188,7 @@ func (r *Replica) applyRecord(raw []byte) (types.Timestamp, error) {
 		if !t.voteReady {
 			t.checkStarted = true
 			t.vote = vote
+			//nolint:basilvet — replay path: this promise flag is being rebuilt FROM the WAL record just read, so the append already happened (in the crashed run); re-appending here would duplicate it.
 			t.voteReady = true
 			if vote == types.VoteCommit && meta != nil {
 				r.store.RestorePrepared(meta, id)
@@ -278,10 +280,15 @@ func (r *Replica) Checkpoint(watermark types.Timestamp) error {
 	if r.wal == nil {
 		return nil
 	}
-	start := time.Now()
+	var start time.Time
+	if r.mx.timed {
+		start = time.Now()
+	}
 	defer func() {
 		r.mx.ckpts.Inc()
-		r.mx.checkpoint.Since(start)
+		if r.mx.timed {
+			r.mx.checkpoint.Since(start)
+		}
 	}()
 	r.store.GC(watermark)
 	return r.wal.Checkpoint(func() []byte {
@@ -364,6 +371,7 @@ func (r *Replica) restoreTxSection(b []byte) error {
 		if flags&1 != 0 {
 			t.checkStarted = true
 			t.vote = vote
+			//nolint:basilvet — replay path: promises here are rebuilt from the checkpoint's tx section, which was only written after the records behind it were durable; no new promise is being made.
 			t.voteReady = true
 		}
 		if flags&2 != 0 {

@@ -99,6 +99,14 @@ func (r *Replica) initMetrics(reg *metrics.Registry) {
 	}
 }
 
+// walMetrics builds the instrument handles wal.Open consumes, keeping the
+// WAL's metric names in this file — the package's single definition site.
+func walMetrics(reg *metrics.Registry) (appendLat, syncLat *metrics.Histogram, pruneFails *metrics.Counter) {
+	return reg.Histogram("basil_wal_append_latency_seconds"),
+		reg.Histogram("basil_wal_fsync_latency_seconds"),
+		reg.Counter("basil_wal_prune_failures_total")
+}
+
 // bindWALMetrics exposes the WAL's cumulative counters once the log is
 // open (called from Restore for durable replicas only).
 func (r *Replica) bindWALMetrics() {

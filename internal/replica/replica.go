@@ -282,12 +282,13 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 	}
 	r.initMetrics(reg)
 	if dir != "" {
+		appendLat, syncLat, pruneFails := walMetrics(reg)
 		l, recov, err := wal.Open(wal.Options{
 			Dir:           dir,
 			FlushDelay:    cfg.WALFlushDelay,
-			AppendLatency: reg.Histogram("basil_wal_append_latency_seconds"),
-			SyncLatency:   reg.Histogram("basil_wal_fsync_latency_seconds"),
-			PruneFailures: reg.Counter("basil_wal_prune_failures_total"),
+			AppendLatency: appendLat,
+			SyncLatency:   syncLat,
+			PruneFailures: pruneFails,
 		})
 		if err != nil {
 			return nil, err
@@ -295,6 +296,7 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 		r.wal = l
 		r.bindWALMetrics()
 		if err := r.replay(recov); err != nil {
+			//nolint:basilvet — close-on-error path: the replay error already aborts Restore and is what the caller sees; nothing was promised yet, so the close error adds nothing.
 			l.Close()
 			return nil, err
 		}
@@ -327,6 +329,7 @@ func (r *Replica) Close() {
 		close(r.ckptStop)
 		r.ckptWG.Wait()
 		if r.wal != nil {
+			//nolint:basilvet — shutdown path with no caller to report to: every promise was already durable when its handler replied (walAppend mutes on failure), so a final-sync error here cannot un-promise anything; restart replays the log regardless.
 			r.wal.Close()
 		}
 	})
@@ -433,5 +436,6 @@ func (r *Replica) broadcastShard(msg any) {
 // completed signature and typically attaches it to a reply and sends it.
 func (r *Replica) signThen(payload []byte, done func(types.Signature)) {
 	r.Stats.SigsSigned.Add(1)
+	//nolint:basilvet — deliberate design (package doc): replies enqueue for Merkle-batch signing under t.mu so each transaction's replies stay ordered with its state changes; Enqueue only appends to the batch under the batcher's own short mutex, the signing itself runs on the batcher goroutine.
 	r.batcher.Enqueue(payload, done)
 }

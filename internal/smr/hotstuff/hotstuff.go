@@ -105,6 +105,8 @@ type Replica struct {
 	addr   transport.Addr
 	signer cryptoutil.Signer
 
+	// mu guards all chain state below; signing and broadcasting happen
+	// after release (basilvet BV001).
 	mu       sync.Mutex
 	nodes    map[[32]byte]*node
 	highQC   *qc
@@ -195,18 +197,21 @@ func (r *Replica) onSubmit(cmd smr.Command) {
 		r.poolOrd = append(r.poolOrd, d)
 	}
 	if len(r.pool) >= r.cfg.BatchMax {
-		r.tryProposeLocked()
+		pn := r.tryProposeLocked()
 		r.mu.Unlock()
+		r.propose(pn)
 		return
 	}
 	if r.timer == nil {
 		r.timer = time.AfterFunc(r.cfg.BatchDelay, func() {
 			r.mu.Lock()
+			var pn *node
 			if !r.closed {
-				r.tryProposeLocked()
+				pn = r.tryProposeLocked()
 			}
 			r.timer = nil
 			r.mu.Unlock()
+			r.propose(pn)
 		})
 	}
 	r.mu.Unlock()
@@ -216,17 +221,19 @@ func cmdDigest(c *smr.Command) [32]byte {
 	return sha256.Sum256(c.AppendCanonical(nil))
 }
 
-// tryProposeLocked proposes a block for height highQC.Height+1 if this
-// replica leads it. Empty blocks are proposed only while non-empty blocks
-// still await their three-chain commit — they keep the chain moving
-// without spinning forever on an idle group. Caller holds r.mu.
-func (r *Replica) tryProposeLocked() {
+// tryProposeLocked builds a block for height highQC.Height+1 if this
+// replica leads it, returning it for the caller to sign and broadcast
+// after releasing r.mu (signing must not run under the replica mutex).
+// Empty blocks are proposed only while non-empty blocks still await their
+// three-chain commit — they keep the chain moving without spinning
+// forever on an idle group. Caller holds r.mu.
+func (r *Replica) tryProposeLocked() *node {
 	next := r.highQC.Height + 1
 	if r.leaderOf(next) != r.index || next <= r.height {
-		return
+		return nil
 	}
 	if len(r.pool) == 0 && r.execHt >= r.maxCmdHt {
-		return // nothing pending; stay idle
+		return nil // nothing pending; stay idle
 	}
 	r.height = next
 	var cmds []smr.Command
@@ -253,13 +260,23 @@ func (r *Replica) tryProposeLocked() {
 		r.timer.Stop()
 		r.timer = nil
 	}
+	return n
+}
+
+// propose signs and broadcasts a built block, outside the lock. nil
+// (nothing to propose) is a no-op so callers can thread the
+// tryProposeLocked result through unconditionally.
+func (r *Replica) propose(n *node) {
+	if n == nil {
+		return
+	}
 	d := n.digest()
 	p := &proposal{
 		Node:     n,
 		Proposer: r.index,
 		Sig:      r.signer.Sign(votePayload(n.Height, d, r.index)),
 	}
-	go r.broadcast(p)
+	r.broadcast(p)
 }
 
 // verifyQC checks an n-f vote certificate.
@@ -318,13 +335,14 @@ func (r *Replica) onProposal(m *proposal) {
 	}
 	// A replica that leads the next height proposes immediately when work
 	// is pending (pipelining).
-	r.tryProposeLocked()
+	pn := r.tryProposeLocked()
 	// Safety rule (simplified for the gracious-execution scope): vote at
 	// most once per height, only for monotonically increasing heights.
 	if n.Height <= r.lastVote {
 		r.commitChainLocked(d)
 		q := r.takeExecLocked()
 		r.mu.Unlock()
+		r.propose(pn)
 		r.runExec(q)
 		return
 	}
@@ -332,6 +350,7 @@ func (r *Replica) onProposal(m *proposal) {
 	r.commitChainLocked(d)
 	q := r.takeExecLocked()
 	r.mu.Unlock()
+	r.propose(pn)
 	r.runExec(q)
 
 	v := &vote{
@@ -374,8 +393,9 @@ func (r *Replica) onVote(m *vote) {
 	r.highQC = newQC
 	// Pipeline: immediately propose the next block (possibly empty) so
 	// ancestors advance toward their three-chain commit.
-	r.tryProposeLocked()
+	pn := r.tryProposeLocked()
 	r.mu.Unlock()
+	r.propose(pn)
 }
 
 // commitChainLocked applies the three-chain commit rule: when node b has a

@@ -97,6 +97,8 @@ type Replica struct {
 	addr   transport.Addr
 	signer cryptoutil.Signer
 
+	// mu guards all protocol state below; signing and broadcasting happen
+	// after release (basilvet BV001).
 	mu      sync.Mutex
 	view    uint64
 	nextSeq uint64 // leader: next sequence to assign
@@ -178,26 +180,34 @@ func (r *Replica) onSubmit(cmd smr.Command) {
 	}
 	r.queue = append(r.queue, cmd)
 	if len(r.queue) >= r.cfg.BatchMax {
-		r.proposeLocked()
+		blk, view := r.takeBatchLocked()
 		r.mu.Unlock()
+		r.propose(blk, view)
 		return
 	}
 	if r.timer == nil {
 		r.timer = time.AfterFunc(r.cfg.BatchDelay, func() {
 			r.mu.Lock()
+			var blk *smr.Block
+			var view uint64
 			if !r.closed && len(r.queue) > 0 {
-				r.proposeLocked()
+				blk, view = r.takeBatchLocked()
 			}
 			r.timer = nil
 			r.mu.Unlock()
+			if blk != nil {
+				r.propose(blk, view)
+			}
 		})
 	}
 	r.mu.Unlock()
 }
 
-// proposeLocked assigns the queued batch a sequence number and
-// pre-prepares it. Caller holds r.mu.
-func (r *Replica) proposeLocked() {
+// takeBatchLocked assigns the queued batch a sequence number and clears
+// the batch timer. Caller holds r.mu; the caller signs and pre-prepares
+// the returned block after releasing it (signing must not run under the
+// replica mutex).
+func (r *Replica) takeBatchLocked() (*smr.Block, uint64) {
 	blk := &smr.Block{Seq: r.nextSeq, Cmds: r.queue}
 	r.nextSeq++
 	r.queue = nil
@@ -205,13 +215,19 @@ func (r *Replica) proposeLocked() {
 		r.timer.Stop()
 		r.timer = nil
 	}
+	return blk, r.view
+}
+
+// propose signs and broadcasts the pre-prepare for a taken batch, outside
+// the lock.
+func (r *Replica) propose(blk *smr.Block, view uint64) {
 	d := blk.Digest()
 	pp := &prePrepare{
-		View:  r.view,
+		View:  view,
 		Block: blk,
-		Sig:   r.signer.Sign(prepPayload('p', r.view, blk.Seq, d, r.index)),
+		Sig:   r.signer.Sign(prepPayload('p', view, blk.Seq, d, r.index)),
 	}
-	go r.broadcast(pp)
+	r.broadcast(pp)
 }
 
 func (r *Replica) slotFor(seq uint64) *slot {
@@ -286,15 +302,12 @@ func (r *Replica) checkProgress(seq uint64) {
 		r.mu.Unlock()
 		return
 	}
+	// Decide state transitions under the lock; sign and send after
+	// releasing it.
+	var c *commit
 	if !s.prepared && len(s.prepares) >= r.cfg.Quorum() {
 		s.prepared = true
-		c := &commit{
-			View: r.view, Seq: seq, Digest: s.digest, Replica: r.index,
-			Sig: r.signer.Sign(prepPayload('C', r.view, seq, s.digest, r.index)),
-		}
-		r.mu.Unlock()
-		r.broadcast(c)
-		r.mu.Lock()
+		c = &commit{View: r.view, Seq: seq, Digest: s.digest, Replica: r.index}
 	}
 	if !s.committed && len(s.commits) >= r.cfg.Quorum() {
 		s.committed = true
@@ -311,6 +324,10 @@ func (r *Replica) checkProgress(seq uint64) {
 		r.execSeq++
 	}
 	r.mu.Unlock()
+	if c != nil {
+		c.Sig = r.signer.Sign(prepPayload('C', c.View, c.Seq, c.Digest, c.Replica))
+		r.broadcast(c)
+	}
 	for _, blk := range toExec {
 		r.cfg.Executor.Execute(r.index, blk)
 	}

@@ -94,6 +94,9 @@ type stripe struct {
 
 // Store is one shard's multiversioned state at one replica.
 type Store struct {
+	// global is the cross-stripe fence: per-key operations hold it for
+	// read, whole-store sweeps (GC, snapshot) hold it for write. Ordered
+	// before any stripe lock.
 	global  sync.RWMutex
 	stripes []stripe
 	seed    maphash.Seed

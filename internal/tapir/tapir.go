@@ -197,11 +197,13 @@ type Stats struct {
 
 // Client drives TAPIR transactions.
 type Client struct {
-	cfg     Config
-	id      int32
-	addr    transport.Addr
-	net     *transport.Local
-	reqSeq  atomic.Uint64
+	cfg    Config
+	id     int32
+	addr   transport.Addr
+	net    *transport.Local
+	reqSeq atomic.Uint64
+	// mu guards pending; held only for map bookkeeping, never across a
+	// network wait.
 	mu      sync.Mutex
 	pending map[uint64]chan any
 

@@ -14,6 +14,8 @@ type LinkPolicy func(from, to Addr, msg any) (delay time.Duration, drop bool)
 // mailbox drained by one dispatch goroutine, so a node processes messages
 // sequentially while different nodes run in parallel.
 type Local struct {
+	// mu guards the node table, link policy, and closed flag; mailbox
+	// delivery takes it for read only.
 	mu     sync.RWMutex
 	nodes  map[Addr]*localNode
 	policy LinkPolicy

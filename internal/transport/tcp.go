@@ -50,6 +50,9 @@ type TCP struct {
 	// at construction and overridable before traffic flows.
 	dialFn func(hostport string) (net.Conn, error)
 
+	// mu guards the connection tables below (handlers, conns, reverse,
+	// live, down) and closed; per-connection writes queue on each conn's
+	// own writer goroutine, never under mu.
 	mu       sync.Mutex
 	handlers map[Addr]Handler
 	conns    map[string]*tcpConn // dialed (or dialing), by host:port

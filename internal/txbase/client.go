@@ -48,10 +48,12 @@ type Stats struct {
 // totally ordered per shard (two consensus instances per shard per
 // transaction — the redundant coordination Basil's merged design removes).
 type Client struct {
-	cfg     ClientConfig
-	addr    transport.Addr
-	sv      *cryptoutil.SigVerifier
-	reqSeq  atomic.Uint64
+	cfg    ClientConfig
+	addr   transport.Addr
+	sv     *cryptoutil.SigVerifier
+	reqSeq atomic.Uint64
+	// mu guards pending; held only for map bookkeeping, never across a
+	// network wait.
 	mu      sync.Mutex
 	pending map[uint64]chan any
 

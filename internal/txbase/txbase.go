@@ -212,6 +212,8 @@ type ExecNode struct {
 	net     transport.Network
 	batcher *cryptoutil.BatchSigner
 
+	// mu guards all execution state below (kv, locks, prepared, decided,
+	// seq); one big lock is the point of this baseline.
 	mu       sync.Mutex
 	kv       map[string]entry
 	locks    map[string]types.TxID

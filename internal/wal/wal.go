@@ -127,6 +127,9 @@ type Log struct {
 	opts Options
 	dir  *os.File // held open for directory fsyncs
 
+	// mu guards every field below — segment handle, generation counters,
+	// and group-commit state; appenders park on cond (which releases mu)
+	// while the flusher syncs.
 	mu   sync.Mutex
 	cond *sync.Cond // appenders wait for sync; the flusher waits for work
 	f    *os.File   // current segment
@@ -204,7 +207,10 @@ func Open(opts Options) (*Log, *Recovered, error) {
 // before it) is durable. Concurrent appenders share the flush window's
 // single fsync.
 func (l *Log) Append(rec []byte) error {
-	start := time.Now()
+	var start time.Time
+	if l.opts.AppendLatency != nil {
+		start = time.Now()
+	}
 	frame := make([]byte, 8+len(rec))
 	binary.BigEndian.PutUint32(frame, uint32(len(rec)))
 	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(rec))
@@ -237,7 +243,9 @@ func (l *Log) Append(rec []byte) error {
 		return ErrClosed
 	}
 	l.stats.Appends++
-	l.opts.AppendLatency.Since(start)
+	if l.opts.AppendLatency != nil {
+		l.opts.AppendLatency.Since(start)
+	}
 	return nil
 }
 
@@ -276,9 +284,14 @@ func (l *Log) flusher() {
 
 		var err error
 		if !l.opts.NoSync {
-			syncStart := time.Now()
+			var syncStart time.Time
+			if l.opts.SyncLatency != nil {
+				syncStart = time.Now()
+			}
 			err = f.Sync()
-			l.opts.SyncLatency.Since(syncStart)
+			if l.opts.SyncLatency != nil {
+				l.opts.SyncLatency.Since(syncStart)
+			}
 		}
 
 		l.mu.Lock()
@@ -311,6 +324,7 @@ func (l *Log) rotateLocked() error {
 	if l.appended != l.synced {
 		// Unsynced frames may not move between files; sync them first.
 		if !l.opts.NoSync {
+			//nolint:basilvet — intentional barrier: the appenders this sync retires are parked on l.cond (which released l.mu), and rotation must not race new appends into the closing segment.
 			if err := l.f.Sync(); err != nil {
 				return err
 			}
@@ -338,10 +352,12 @@ func (l *Log) openSegment() error {
 		return err
 	}
 	if !l.opts.NoSync {
+		//nolint:basilvet — intentional barrier: a new segment must exist durably before any append lands in it; runs only at open/rotate, never on the append fast path.
 		if err := f.Sync(); err != nil {
 			f.Close()
 			return err
 		}
+		//nolint:basilvet — intentional barrier: the directory entry must be durable too, same rotation-only path as above.
 		if err := l.dir.Sync(); err != nil {
 			f.Close()
 			return err
@@ -429,6 +445,7 @@ func (l *Log) Close() error {
 	var err error
 	if l.appended != l.synced && l.syncErr == nil {
 		if !l.opts.NoSync {
+			//nolint:basilvet — intentional barrier: Close owns l.mu precisely to fence out new appenders while the final frames are made durable; shutdown-only path.
 			err = l.f.Sync()
 		}
 		if err == nil {
@@ -644,9 +661,11 @@ func prune(dir string, cut uint64) error {
 	}
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), segPrefix, segSuffix); ok && seq < cut {
+			//nolint:basilvet — documented best-effort: a failed remove costs disk, not correctness; the next checkpoint retries and PruneFailures counts persistent trouble.
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 		if seq, ok := parseSeq(e.Name(), ckptPrefix, ckptSuffix); ok && seq < cut {
+			//nolint:basilvet — documented best-effort, same policy as the segment remove above.
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // openT opens a log in dir, failing the test on error.
@@ -451,5 +453,42 @@ func TestWALCheckpointWithoutCutSegmentRefused(t *testing.T) {
 	}
 	if _, _, err := Open(Options{Dir: dir}); err == nil {
 		t.Fatal("Open accepted a checkpoint whose cut segment is gone (post-checkpoint records silently dropped)")
+	}
+}
+
+// TestWALLatencyHistogramsRecordWhenEnabled is the regression guard for
+// the metrics-tax gating (basilvet BV005): Append and the flusher read
+// the clock only when their histogram option is non-nil, and this test
+// pins the other side of that bargain — with live histograms wired in,
+// every successful Append is observed and at least one fsync is timed.
+// A mean above a minute would mean a mismatched gate (recording
+// time.Since of a zero start), so the bound catches half-gated code too.
+func TestWALLatencyHistogramsRecordWhenEnabled(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	opts := Options{
+		AppendLatency: reg.Histogram("test_wal_append_latency_seconds"),
+		SyncLatency:   reg.Histogram("test_wal_sync_latency_seconds"),
+	}
+	l, _ := openT(t, dir, opts)
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := l.Append(recN(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := opts.AppendLatency.Count(); got != n {
+		t.Fatalf("append latency histogram recorded %d samples, want %d", got, n)
+	}
+	if got := opts.SyncLatency.Count(); got == 0 {
+		t.Fatal("sync latency histogram recorded no samples")
+	}
+	for _, h := range []*metrics.Histogram{opts.AppendLatency, opts.SyncLatency} {
+		if mean := h.SnapshotHist().MeanNanos(); mean > float64(time.Minute) {
+			t.Fatalf("histogram mean %v ns is implausible — clock read and observation gates disagree", mean)
+		}
 	}
 }

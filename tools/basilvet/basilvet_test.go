@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs every pass over the packages under testdata/src and
+// compares findings against the in-source expectations:
+//
+//	stmt()            // want BV001 BV003   — findings expected on this line
+//	// want-prev BV000 BV003                — findings expected on the line
+//	                                          above (used where that line
+//	                                          already carries a nolint
+//	                                          comment, which would swallow
+//	                                          a same-line marker as its
+//	                                          justification text)
+//
+// The comparison is an exact multiset match on (file, line, code) in both
+// directions, so a pass that over-fires on a negative case fails the test
+// just like one that misses a positive.
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	loader, err := newLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			pkg, err := loader.load(dir)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			if pkg == nil {
+				t.Fatalf("no Go files in %s", dir)
+			}
+			want, err := wantMarkers(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]int)
+			for _, f := range analyze(pkg) {
+				got[fmt.Sprintf("%s:%d: %s", filepath.Base(f.File), f.Line, f.Code)]++
+			}
+			for key, n := range want {
+				if got[key] < n {
+					t.Errorf("missing finding: %s (want %d, got %d)", key, n, got[key])
+				}
+			}
+			for key, n := range got {
+				if want[key] < n {
+					t.Errorf("unexpected finding: %s (want %d, got %d)", key, want[key], n)
+				}
+			}
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want(-prev)?((?:\s+BV\d{3})+)\s*$`)
+
+// wantMarkers parses `// want ...` and `// want-prev ...` expectations
+// from every fixture file in dir, keyed like the analyzer output:
+// "file.go:LINE: CODE".
+func wantMarkers(dir string) (map[string]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]int)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			at := i + 1 // 1-based line of the marker
+			if m[1] == "-prev" {
+				at--
+			}
+			for _, code := range strings.Fields(m[2]) {
+				want[fmt.Sprintf("%s:%d: %s", e.Name(), at, code)]++
+			}
+		}
+	}
+	return want, nil
+}
+
+// TestExpandPatterns pins the CLI surface: /... walks recursively but
+// skips testdata, and a plain dir is taken as-is.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := expandPatterns([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != "." {
+		t.Fatalf("plain dir: got %v", dirs)
+	}
+	dirs, err = expandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Fatalf("recursive walk descended into testdata: %v", dirs)
+		}
+	}
+}

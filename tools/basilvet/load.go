@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package plus everything the passes need.
+type Package struct {
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// loader type-checks packages with go/types. The stock "source" importer
+// resolves stdlib imports but not module-local ones, so moduleImporter
+// below maps the module path prefix (from go.mod) to repo directories and
+// recursively type-checks those itself, memoized.
+type loader struct {
+	fset       *token.FileSet
+	modPath    string // e.g. "repro"
+	modRoot    string // absolute dir containing go.mod
+	fallback   types.Importer
+	cache      map[string]*types.Package // import path -> checked package
+	loading    map[string]bool           // import-cycle guard
+	typeSink   map[string]*Package       // dir -> full load result
+	checkerErr error
+}
+
+func newLoader() (*loader, error) {
+	// The analyzer never needs cgo-backed packages resolved through C;
+	// without this, type-checking anything that imports net fails.
+	build.Default.CgoEnabled = false
+	root, modPath, err := findModule()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		modPath:  modPath,
+		modRoot:  root,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		cache:    make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+		typeSink: make(map[string]*Package),
+	}, nil
+}
+
+// findModule walks up from the working directory to go.mod.
+func findModule() (dir, modPath string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Import satisfies types.Importer: module-local paths are resolved against
+// the repo, everything else goes to the source importer (stdlib).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		return l.checkDir(filepath.Join(l.modRoot, rel), path)
+	}
+	return l.fallback.Import(path)
+}
+
+// checkDir parses and type-checks the package in dir, memoized by import
+// path so shared dependencies are checked once per run.
+func (l *loader) checkDir(dir, importPath string) (*types.Package, error) {
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[importPath] = pkg
+	l.typeSink[dir] = &Package{Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	return pkg, nil
+}
+
+// load returns the analyzed Package for a directory, or nil if the
+// directory holds no non-test Go files.
+func (l *loader) load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := parseDir(l.fset, abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	importPath := l.importPathFor(abs)
+	if _, err := l.checkDir(abs, importPath); err != nil {
+		return nil, err
+	}
+	return l.typeSink[abs], nil
+}
+
+// importPathFor maps a repo directory to its module import path; dirs
+// outside the module (fixtures under a temp dir) get a synthetic path.
+func (l *loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "basilvet.test/" + filepath.Base(abs)
+	}
+	if rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses every non-test .go file in dir (not recursive).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// expandPatterns turns CLI args (dir or dir/...) into a sorted list of
+// package directories. Recursive walks skip testdata and hidden dirs.
+func expandPatterns(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "/...")
+		root = filepath.Clean(root)
+		if !recursive {
+			if st, err := os.Stat(root); err != nil || !st.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", arg)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

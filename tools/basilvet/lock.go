@@ -1,0 +1,673 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BV001 lock-discipline.
+//
+// The rule (replica package doc, PR 3): no blocking or externalizing call
+// may run while a tracked mutex is held — signing, channel sends, network
+// sends, fsync, WAL appends, sleeps. The pass walks each function's
+// statements maintaining the set of held locks: x.Lock()/RLock() adds x,
+// x.Unlock()/RUnlock() removes it, `defer x.Unlock()` holds x to the end
+// of the function. Functions named *Locked are seeded with a pseudo-lock
+// (the convention promises a caller-held mutex). Blocking calls include
+// transitive ones: each function in the package gets a memoized summary
+// of the shallowest blocking call reachable from it, and calling a
+// blocking-summary function under a lock is reported at the call site
+// with the chain in the message.
+//
+// Deliberate approximations (documented in the command doc): function
+// literals and `go` statements defer execution and are not walked at
+// their creation site; sync.Cond.Wait releases its mutex and is not
+// blocking for this rule; a branch that unlocks and does not return makes
+// the fall-through state conservatively unlocked (avoiding false
+// positives at the cost of missing relock-in-branch bugs).
+
+// blockingCalls maps callee name -> the reason it must not run under a
+// lock. Matching is by method/function name plus, where needed, the
+// receiver or package checked in isBlockingCall.
+var blockingCalls = map[string]string{
+	"Send":       "network send",
+	"SendAll":    "network broadcast",
+	"Append":     "WAL append (group commit waits on fsync)",
+	"Checkpoint": "checkpoint write+fsync",
+	"Sync":       "file fsync",
+	"Sign":       "signature computation",
+	"Enqueue":    "batch-signer enqueue (may run flush inline)",
+	"Go":         "verifier-pool dispatch",
+	"All":        "verifier-pool barrier",
+	"Sleep":      "sleep",
+	"Wait":       "blocking wait",
+}
+
+// lockState tracks held locks by a stable string key ("recv.field" or
+// variable name).
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s lockState) names() string {
+	var ks []string
+	for k := range s {
+		ks = append(ks, k)
+	}
+	// Small sets; insertion order is map order, sort for stable messages.
+	for i := 0; i < len(ks); i++ {
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j] < ks[i] {
+				ks[i], ks[j] = ks[j], ks[i]
+			}
+		}
+	}
+	return strings.Join(ks, ", ")
+}
+
+// blockSite is the summary of the shallowest blocking call reachable from
+// a function when it is entered with no locks of its own.
+type blockSite struct {
+	node   ast.Node // the direct blocking call expression
+	reason string
+	chain  []string // call chain from the summarized function to the site
+}
+
+type lockPass struct {
+	pkg       *Package
+	decls     map[string]*ast.FuncDecl // funcName -> decl (package-local)
+	summaries map[string]*blockSite    // funcName -> memoized summary (nil = doesn't block)
+	summWIP   map[string]bool          // recursion guard
+	findings  []Finding
+	reported  map[string]bool // dedup by file:line
+}
+
+func lockDiscipline(pkg *Package) []Finding {
+	p := &lockPass{
+		pkg:       pkg,
+		decls:     make(map[string]*ast.FuncDecl),
+		summaries: make(map[string]*blockSite),
+		summWIP:   make(map[string]bool),
+		reported:  make(map[string]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				p.decls[funcName(fd)] = fd
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := make(lockState)
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				held["<caller's lock: "+funcName(fd)+">"] = true
+			}
+			p.walkBlock(fd.Body, held, funcName(fd))
+		}
+	}
+	return p.findings
+}
+
+// report records a BV001 at the direct blocking site.
+func (p *lockPass) report(at ast.Node, held lockState, reason string, chain []string) {
+	pos := p.pkg.Fset.Position(at.Pos())
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	if p.reported[key] {
+		return
+	}
+	p.reported[key] = true
+	via := ""
+	if len(chain) > 1 {
+		via = " (via " + strings.Join(chain, " -> ") + ")"
+	}
+	p.findings = append(p.findings, finding(p.pkg, "BV001", at,
+		"%s while holding %s%s — release the lock first or defer the work",
+		reason, held.names(), via))
+}
+
+// walkBlock walks stmts in order, mutating held. Returns true if the block
+// always terminates (return/panic on every path it saw).
+func (p *lockPass) walkBlock(b *ast.BlockStmt, held lockState, fn string) bool {
+	if b == nil {
+		return false
+	}
+	return p.walkStmts(b.List, held, fn)
+}
+
+func (p *lockPass) walkStmts(stmts []ast.Stmt, held lockState, fn string) bool {
+	for _, s := range stmts {
+		if p.walkStmt(s, held, fn) {
+			return true // terminated; the rest is dead on this path
+		}
+	}
+	return false
+}
+
+// walkStmt processes one statement; returns true when the statement
+// terminates the enclosing function on every path.
+func (p *lockPass) walkStmt(s ast.Stmt, held lockState, fn string) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		p.walkExpr(st.X, held, fn)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			p.report(st, held, "channel send", nil)
+		}
+		p.walkExpr(st.Value, held, fn)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			p.walkExpr(e, held, fn)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						p.walkExpr(v, held, fn)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer x.Unlock() means x is held until the function ends, so it
+		// stays in the held set; a deferred Lock would be bizarre and is
+		// ignored. Other deferred calls run at exit, outside this walk.
+		if key, op, ok := lockOp(p.pkg, st.Call); ok && op == "unlock" {
+			// Keep held[key]; nothing to do — the lock persists.
+			_ = key
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			p.walkExpr(e, held, fn)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto end the linear walk of this block.
+		return false
+	case *ast.IfStmt:
+		if st.Init != nil {
+			p.walkStmt(st.Init, held, fn)
+		}
+		p.walkExpr(st.Cond, held, fn)
+		thenHeld := held.clone()
+		thenTerm := p.walkBlock(st.Body, thenHeld, fn)
+		elseHeld := held.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = p.walkStmt(st.Else, elseHeld, fn)
+		}
+		// Merge: fall-through holds a lock only if every non-terminating
+		// branch still holds it (conservative toward fewer false positives).
+		merge(held, thenHeld, thenTerm, elseHeld, elseTerm, st.Else != nil)
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return p.walkBlock(st, held, fn)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			p.walkStmt(st.Init, held, fn)
+		}
+		if st.Cond != nil {
+			p.walkExpr(st.Cond, held, fn)
+		}
+		body := held.clone()
+		p.walkBlock(st.Body, body, fn)
+		intersect(held, body)
+	case *ast.RangeStmt:
+		p.walkExpr(st.X, held, fn)
+		body := held.clone()
+		p.walkBlock(st.Body, body, fn)
+		intersect(held, body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			p.walkStmt(st.Init, held, fn)
+		}
+		if st.Tag != nil {
+			p.walkExpr(st.Tag, held, fn)
+		}
+		p.walkCases(st.Body, held, fn)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			p.walkStmt(st.Init, held, fn)
+		}
+		p.walkCases(st.Body, held, fn)
+	case *ast.SelectStmt:
+		// A select with only non-blocking-intent cases still blocks unless
+		// it has a default; report the wait itself when under a lock.
+		if len(held) > 0 && !selectHasDefault(st) {
+			p.report(st, held, "blocking select", nil)
+		}
+		p.walkCases(st.Body, held, fn)
+	case *ast.GoStmt:
+		// The launched goroutine does not run under the launcher's locks.
+	case *ast.LabeledStmt:
+		return p.walkStmt(st.Stmt, held, fn)
+	}
+	return false
+}
+
+// walkCases walks each case clause against a clone and intersects results.
+func (p *lockPass) walkCases(body *ast.BlockStmt, held lockState, fn string) {
+	if body == nil {
+		return
+	}
+	snapshot := held.clone()
+	first := true
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && len(snapshot) > 0 {
+					p.report(send, snapshot, "channel send", nil)
+				}
+			}
+			stmts = cc.Body
+		}
+		caseHeld := snapshot.clone()
+		term := p.walkStmts(stmts, caseHeld, fn)
+		if term {
+			continue
+		}
+		if first {
+			for k := range held {
+				delete(held, k)
+			}
+			for k := range caseHeld {
+				held[k] = true
+			}
+			first = false
+		} else {
+			intersect(held, caseHeld)
+		}
+	}
+}
+
+// merge computes the post-if held set in place.
+func merge(held, thenHeld lockState, thenTerm bool, elseHeld lockState, elseTerm, hasElse bool) {
+	if !hasElse {
+		elseHeld = held.clone() // implicit empty else keeps the pre-state
+		elseTerm = false
+	}
+	for k := range held {
+		delete(held, k)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		// Unreachable fall-through; leave empty.
+	case thenTerm:
+		for k := range elseHeld {
+			held[k] = true
+		}
+	case elseTerm:
+		for k := range thenHeld {
+			held[k] = true
+		}
+	default:
+		for k := range thenHeld {
+			if elseHeld[k] {
+				held[k] = true
+			}
+		}
+	}
+}
+
+func intersect(dst, other lockState) {
+	for k := range dst {
+		if !other[k] {
+			delete(dst, k)
+		}
+	}
+}
+
+func selectHasDefault(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkExpr visits expressions for calls (the only lock-relevant events).
+// Function literals are skipped: they execute later, not here.
+func (p *lockPass) walkExpr(e ast.Expr, held lockState, fn string) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		p.handleCall(x, held, fn)
+	case *ast.ParenExpr:
+		p.walkExpr(x.X, held, fn)
+	case *ast.BinaryExpr:
+		p.walkExpr(x.X, held, fn)
+		p.walkExpr(x.Y, held, fn)
+	case *ast.UnaryExpr:
+		p.walkExpr(x.X, held, fn)
+	case *ast.SelectorExpr:
+		p.walkExpr(x.X, held, fn)
+	case *ast.IndexExpr:
+		p.walkExpr(x.X, held, fn)
+		p.walkExpr(x.Index, held, fn)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			p.walkExpr(el, held, fn)
+		}
+	case *ast.KeyValueExpr:
+		p.walkExpr(x.Value, held, fn)
+	case *ast.TypeAssertExpr:
+		p.walkExpr(x.X, held, fn)
+	case *ast.StarExpr:
+		p.walkExpr(x.X, held, fn)
+	case *ast.FuncLit:
+		// Deferred execution: the literal's body runs when invoked (reply
+		// closures run on the batcher goroutine), not at creation.
+	}
+}
+
+// handleCall is the core transition: lock ops mutate held, blocking calls
+// report, package-local calls consult summaries for transitive blocking.
+func (p *lockPass) handleCall(call *ast.CallExpr, held lockState, fn string) {
+	for _, a := range call.Args {
+		p.walkExpr(a, held, fn)
+	}
+	if key, op, ok := lockOp(p.pkg, call); ok {
+		switch op {
+		case "lock":
+			held[key] = true
+		case "unlock":
+			delete(held, key)
+		}
+		return
+	}
+	if reason, ok := p.isBlockingCall(call); ok {
+		if len(held) > 0 {
+			p.report(call, held, reason, nil)
+		}
+		return
+	}
+	// Transitive: package-local callee with a blocking summary.
+	if len(held) == 0 {
+		return
+	}
+	name, local := p.localCallee(call)
+	if !local {
+		return
+	}
+	if site := p.summarize(name); site != nil {
+		chain := append([]string{fn}, site.chain...)
+		p.report(call, held, site.reason, chain)
+	}
+}
+
+// lockOp recognizes x.Lock/RLock/Unlock/RUnlock on sync mutexes (or
+// embedded/aliased ones). Cond.Wait is handled in isBlockingCall (it
+// releases the mutex, so it is exempt by design).
+func lockOp(pkg *Package, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	var opKind string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		opKind = "lock"
+	case "Unlock", "RUnlock":
+		opKind = "unlock"
+	default:
+		return "", "", false
+	}
+	// The receiver must be (or embed) a sync mutex type.
+	pkgName, typeName := typePkgAndName(pkg, sel.X)
+	if pkgName != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
+		// Allow promoted methods: selection through an embedded mutex still
+		// resolves the method's receiver to sync.(RW)Mutex.
+		if s, okSel := pkg.Info.Selections[sel]; okSel {
+			if fnObj, okFn := s.Obj().(*types.Func); okFn {
+				if sig, okSig := fnObj.Type().(*types.Signature); okSig && sig.Recv() != nil {
+					rp, rt := namedOf(sig.Recv().Type())
+					if rp == "sync" && (rt == "Mutex" || rt == "RWMutex") {
+						return exprKey(sel.X), opKind, true
+					}
+				}
+			}
+		}
+		return "", "", false
+	}
+	return exprKey(sel.X), opKind, true
+}
+
+// exprKey renders the mutex expression as a stable string ("r.mu",
+// "ts.mu", "s.stripes[i].mu" collapses to source text shape).
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	case *ast.UnaryExpr:
+		return exprKey(x.X)
+	default:
+		return "<expr>"
+	}
+}
+
+// isBlockingCall classifies direct blocking/externalizing calls.
+func (p *lockPass) isBlockingCall(call *ast.CallExpr) (string, bool) {
+	name := calleeName(call)
+	reason, listed := blockingCalls[name]
+	if !listed {
+		return "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	switch name {
+	case "Sleep":
+		return reason, p.calleeFromPkg(call, "time")
+	case "Wait":
+		// sync.WaitGroup.Wait blocks; sync.Cond.Wait releases the mutex
+		// (the WAL group-commit pattern) and is exempt.
+		if !isSel {
+			return "", false
+		}
+		pn, tn := typePkgAndName(p.pkg, sel.X)
+		if pn == "sync" && tn == "WaitGroup" {
+			return "WaitGroup.Wait", true
+		}
+		return "", false
+	case "Sync":
+		// (*os.File).Sync and the exported wal sync paths.
+		if !isSel {
+			return "", false
+		}
+		pn, tn := typePkgAndName(p.pkg, sel.X)
+		return reason, pn == "os" && tn == "File"
+	case "Send", "SendAll":
+		// Transport interface or any network-shaped receiver; require a
+		// method call (not a local function named Send).
+		if !isSel {
+			return "", false
+		}
+		pn, _ := receiverPkg(p.pkg, sel)
+		return reason, pn == "transport"
+	case "Append":
+		if !isSel {
+			return "", false
+		}
+		pn, _ := receiverPkg(p.pkg, sel)
+		return reason, pn == "wal"
+	case "Checkpoint":
+		if !isSel {
+			return "", false
+		}
+		pn, _ := receiverPkg(p.pkg, sel)
+		return reason, pn == "wal" || pn == "replica"
+	case "Sign", "Enqueue", "Go", "All":
+		if !isSel {
+			return "", false
+		}
+		pn, _ := receiverPkg(p.pkg, sel)
+		return reason, pn == "cryptoutil"
+	}
+	return "", false
+}
+
+// receiverPkg returns the defining package name of a method's receiver
+// type (works for interface methods too).
+func receiverPkg(pkg *Package, sel *ast.SelectorExpr) (string, string) {
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if fnObj, ok := s.Obj().(*types.Func); ok && fnObj.Pkg() != nil {
+			return fnObj.Pkg().Name(), fnObj.Name()
+		}
+	}
+	return "", ""
+}
+
+// calleeFromPkg reports whether the call is pkgname.Func(...).
+func (p *lockPass) calleeFromPkg(call *ast.CallExpr, want string) bool {
+	return calleePkgName(p.pkg, call) == want
+}
+
+// localCallee resolves a call to a package-local FuncDecl name.
+func (p *lockPass) localCallee(call *ast.CallExpr) (string, bool) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := p.decls[fn.Name]; ok {
+			return fn.Name, true
+		}
+	case *ast.SelectorExpr:
+		// Method call on a local type: resolve via receiver type name.
+		if s, ok := p.pkg.Info.Selections[fn]; ok {
+			if m, ok := s.Obj().(*types.Func); ok && m.Pkg() == p.pkg.Pkg {
+				if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil {
+					_, tn := namedOf(sig.Recv().Type())
+					name := tn + "." + m.Name()
+					if _, ok := p.decls[name]; ok {
+						return name, true
+					}
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// summarize computes (memoized) whether calling name with no locks held
+// reaches a blocking call, returning the shallowest such site.
+func (p *lockPass) summarize(name string) *blockSite {
+	if site, done := p.summaries[name]; done {
+		return site
+	}
+	if p.summWIP[name] {
+		return nil // recursion: assume non-blocking on the back edge
+	}
+	p.summWIP[name] = true
+	defer delete(p.summWIP, name)
+	fd := p.decls[name]
+	if fd == nil {
+		p.summaries[name] = nil
+		return nil
+	}
+	s := &summarizer{p: p, fn: name}
+	ast.Inspect(fd.Body, s.visit)
+	p.summaries[name] = s.site
+	return s.site
+}
+
+// summarizer scans a function body for the first blocking call, ignoring
+// lock state inside the callee: BV001's premise is that the *caller*
+// holds a lock across the whole call, so any blocking site inside is a
+// violation regardless of the callee's own locking. FuncLits and go
+// statements are skipped as everywhere else. Sites whose line carries a
+// justified nolint are not treated as blocking for callers either — the
+// annotation vouches for the whole pattern.
+type summarizer struct {
+	p    *lockPass
+	fn   string
+	site *blockSite
+}
+
+func (s *summarizer) visit(n ast.Node) bool {
+	if s.site != nil {
+		return false
+	}
+	switch x := n.(type) {
+	case *ast.FuncLit, *ast.GoStmt:
+		return false
+	case *ast.SendStmt:
+		s.record(x, "channel send", nil)
+		return false
+	case *ast.CallExpr:
+		if _, _, isLock := lockOp(s.p.pkg, x); isLock {
+			return true
+		}
+		if reason, ok := s.p.isBlockingCall(x); ok {
+			s.record(x, reason, nil)
+			return false
+		}
+		if callee, local := s.p.localCallee(x); local && callee != s.fn {
+			if sub := s.p.summarize(callee); sub != nil {
+				s.record(sub.node, sub.reason, append([]string{callee}, sub.chain...))
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *summarizer) record(at ast.Node, reason string, chain []string) {
+	pos := s.p.pkg.Fset.Position(at.Pos())
+	// A justified suppression at the site covers transitive reports too.
+	if supOnLine(s.p.pkg, pos.Line, pos.Filename) {
+		return
+	}
+	s.site = &blockSite{node: at, reason: reason, chain: chain}
+}
+
+// supOnLine checks for a justified nolint on the site line or the line
+// above (same rule as suppressions.suppressed, but usable before the
+// suppression map is threaded through the pass).
+func supOnLine(pkg *Package, line int, filename string) bool {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if pos.Filename != filename {
+					continue
+				}
+				if pos.Line != line && pos.Line != line-1 {
+					continue
+				}
+				idx := strings.Index(c.Text, nolintMarker)
+				if idx < 0 {
+					continue
+				}
+				rest := strings.TrimLeft(c.Text[idx+len(nolintMarker):], " \t—:-–")
+				if strings.TrimSpace(rest) != "" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

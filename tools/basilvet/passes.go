@@ -1,0 +1,628 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// --- BV002 log-before-externalize ---------------------------------------
+//
+// Basil's replica discipline: fail-stop, never fail-equivocate. A replica
+// may crash after promising a vote/decision, but it must never come back
+// and contradict itself — so every promise flag flip and every reply that
+// externalizes a promise must be preceded by the matching WAL append in
+// the same handler. The pass applies to packages *named* replica and
+// checks two things per function: (a) any assignment setting a promise
+// field (voteReady, decisionLogged, finalized) to true must share its
+// function with a log call; (b) when a function both logs and
+// externalizes, the first log call must precede the first externalizing
+// call in source order.
+
+var promiseFields = map[string]bool{
+	"voteReady":      true,
+	"decisionLogged": true,
+	"finalized":      true,
+}
+
+var logCalls = map[string]bool{
+	"logVoteLocked":     true,
+	"logDecisionLocked": true,
+	"logFinal":          true,
+	"Append":            true, // direct wal append
+}
+
+var externalizeCalls = map[string]bool{
+	"signThen":       true,
+	"Send":           true,
+	"SendAll":        true,
+	"broadcastShard": true,
+}
+
+func logBeforeExternal(pkg *Package) []Finding {
+	if pkg.Pkg.Name() != "replica" {
+		return nil
+	}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var promiseAt ast.Node
+			var firstLog, firstExt token.Pos
+			var extNode ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false // runs later (batcher callback), not on this path
+				case *ast.AssignStmt:
+					for i, lhs := range x.Lhs {
+						sel, ok := lhs.(*ast.SelectorExpr)
+						if !ok || !promiseFields[sel.Sel.Name] {
+							continue
+						}
+						if i < len(x.Rhs) && isTrue(x.Rhs[i]) && promiseAt == nil {
+							promiseAt = x
+						}
+					}
+				case *ast.CallExpr:
+					name := calleeName(x)
+					if logCalls[name] {
+						if name != "Append" || calleeReceiverPkg(pkg, x) == "wal" {
+							if firstLog == token.NoPos || x.Pos() < firstLog {
+								firstLog = x.Pos()
+							}
+						}
+					}
+					if externalizeCalls[name] {
+						if name == "Send" || name == "SendAll" {
+							if calleeReceiverPkg(pkg, x) != "transport" {
+								return true
+							}
+						}
+						if firstExt == token.NoPos || x.Pos() < firstExt {
+							firstExt = x.Pos()
+							extNode = x
+						}
+					}
+				}
+				return true
+			})
+			if promiseAt != nil && firstLog == token.NoPos {
+				findings = append(findings, finding(pkg, "BV002", promiseAt,
+					"%s sets a promise flag without a WAL append in the same function — a crash here could let the replica equivocate on restart", funcName(fd)))
+			}
+			if firstExt != token.NoPos && firstLog != token.NoPos && firstExt < firstLog {
+				findings = append(findings, finding(pkg, "BV002", extNode,
+					"%s externalizes a reply before its WAL append — log first, then send", funcName(fd)))
+			}
+		}
+	}
+	return findings
+}
+
+func isTrue(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+func calleeReceiverPkg(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pn, _ := receiverPkg(pkg, sel)
+	return pn
+}
+
+// --- BV003 error-hygiene -------------------------------------------------
+//
+// Durability and transport errors are the ones this system exists to
+// handle; discarding one silently turns fail-stop into fail-oblivious.
+// The pass flags calls whose error result is dropped — as a bare
+// expression statement or assigned entirely to blanks — when the callee
+// is defined in wal, store, transport, or os. (*os.File).Close is exempt:
+// close-on-error-path discards are idiomatic and carry no data.
+
+var errCalleePkgs = map[string]bool{
+	"wal": true, "store": true, "transport": true, "os": true,
+}
+
+func errorHygiene(pkg *Package) []Finding {
+	var findings []Finding
+	check := func(call *ast.CallExpr) {
+		pn := calleePkgName(pkg, call)
+		if !errCalleePkgs[pn] {
+			return
+		}
+		name := calleeName(call)
+		if pn == "os" && name == "Close" {
+			return
+		}
+		if !returnsError(pkg, call) {
+			return
+		}
+		findings = append(findings, finding(pkg, "BV003", call,
+			"error from %s.%s discarded — handle it or add //nolint:basilvet with the reason it is safe to drop", pn, name))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+				return true // keep descending: closures passed as args get checked too
+			case *ast.AssignStmt:
+				if len(x.Rhs) == 1 && allBlank(x.Lhs) {
+					if call, ok := x.Rhs[0].(*ast.CallExpr); ok {
+						check(call)
+					}
+					return true
+				}
+			case *ast.GoStmt, *ast.DeferStmt:
+				// go/defer of an error-returning call is a different smell;
+				// deferred Close/Sync discards are covered by convention in
+				// review, not this pass.
+				return false
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// returnsError reports whether the call's type includes an error result.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// --- BV004 goroutine-hygiene ---------------------------------------------
+//
+// A struct with a Close method promises an orderly shutdown; a goroutine
+// it launches must be joinable (wg.Add before the go statement) or
+// drainable (the goroutine body references a stop/closed/done signal).
+// Otherwise Close returns while the goroutine still runs — the flaky-test
+// and leaked-fd generator. The pass looks at go statements inside methods
+// of types that also declare Close.
+
+func goroutineHygiene(pkg *Package) []Finding {
+	// Types with a Close method.
+	closers := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Close" {
+				continue
+			}
+			closers[recvTypeName(fd)] = true
+		}
+	}
+	if len(closers) == 0 {
+		return nil
+	}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !closers[recvTypeName(fd)] {
+				continue
+			}
+			findings = append(findings, checkGoStmts(pkg, fd)...)
+		}
+	}
+	return findings
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGoStmts flags go statements not preceded (anywhere in the method)
+// by a WaitGroup Add and whose body/target shows no shutdown signal.
+func checkGoStmts(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var findings []Finding
+	hasWGAdd := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				if pn, tn := typePkgAndName(pkg, sel.X); pn == "sync" && tn == "WaitGroup" {
+					hasWGAdd = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if hasWGAdd || goHasStopSignal(pkg, fd, g) {
+			return true
+		}
+		findings = append(findings, finding(pkg, "BV004", g,
+			"%s launches a goroutine with no WaitGroup.Add and no stop/closed signal — Close cannot join or drain it", funcName(fd)))
+		return true
+	})
+	return findings
+}
+
+// goHasStopSignal inspects the goroutine target (literal body, or the
+// package-local function it calls) for references to a shutdown signal:
+// an identifier matching stop|close|closed|done|quit|ctx, or a receive
+// from a channel.
+func goHasStopSignal(pkg *Package, fd *ast.FuncDecl, g *ast.GoStmt) bool {
+	var body ast.Node
+	switch fn := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fn.Body
+	case *ast.SelectorExpr:
+		// Method call: find the local decl by bare method name.
+		body = localMethodBody(pkg, fn.Sel.Name)
+	case *ast.Ident:
+		body = localMethodBody(pkg, fn.Name)
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if isStopName(x.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isStopName(x.Sel.Name) {
+				found = true
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// ranging over a channel drains until close
+			if tv, ok := pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isStopName(name string) bool {
+	l := strings.ToLower(name)
+	for _, sig := range []string{"stop", "close", "done", "quit", "ctx", "shutdown"} {
+		if strings.Contains(l, sig) {
+			return true
+		}
+	}
+	return false
+}
+
+// localMethodBody finds any package-local function/method body by bare
+// name (methods are rarely ambiguous within one package's goroutines;
+// when they are, any match referencing a signal is accepted).
+func localMethodBody(pkg *Package, name string) ast.Node {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// --- BV005 metrics-tax ---------------------------------------------------
+//
+// PR 5's rule: instrumentation must be free when disabled. A time.Now()
+// whose only consumer is a histogram observation must be gated on a live
+// registry (or a non-nil handle) so the disabled path never reads the
+// clock. The pass applies to hot packages (replica, store, wal,
+// transport, client) and flags, per function: (a) `h.Since(time.Now())`
+// / `h.Observe(time.Since(t))` argument clock reads, and (b) variables
+// assigned from time.Now() and later passed to Since/Observe — in both
+// cases only when the read is not inside an if gated on an
+// enabled/timed/live condition or a handle nil-check.
+
+var hotPackages = map[string]bool{
+	"replica": true, "store": true, "wal": true, "transport": true, "client": true,
+}
+
+func metricsTax(pkg *Package) []Finding {
+	if !hotPackages[pkg.Pkg.Name()] {
+		return nil
+	}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			findings = append(findings, checkClockReads(pkg, fd)...)
+		}
+	}
+	return findings
+}
+
+func checkClockReads(pkg *Package, fd *ast.FuncDecl) []Finding {
+	// First collect: which variables are clock reads, which feed
+	// histograms, and which nodes sit under a metrics gate.
+	clockVars := make(map[string]ast.Node) // var name -> time.Now() call node
+	gated := make(map[ast.Node]bool)       // nodes under a recognized gate
+	var gateStack []bool
+	inGate := func() bool {
+		for _, g := range gateStack {
+			if g {
+				return true
+			}
+		}
+		return false
+	}
+	var findings []Finding
+	var walk func(n ast.Node)
+	seen := make(map[ast.Node]bool)
+
+	// gateCond: an if-condition that mentions a timed/enabled/live field,
+	// an Enabled() call, or a != nil comparison — the shapes the codebase
+	// uses to guard instrumentation.
+	isGate := func(cond ast.Expr) bool {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if isGateName(x.Name) {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if isGateName(x.Sel.Name) {
+					found = true
+				}
+			case *ast.CallExpr:
+				if calleeName(x) == "Enabled" {
+					found = true
+				}
+			case *ast.BinaryExpr:
+				if x.Op == token.NEQ || x.Op == token.EQL {
+					if isNil(x.X) || isNil(x.Y) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	walk = func(n ast.Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			gateStack = append(gateStack, isGate(x.Cond))
+			walkNode(x.Body, walk)
+			gateStack = gateStack[:len(gateStack)-1]
+			if x.Else != nil {
+				walk(x.Else)
+			}
+			return
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if isTimeNow(pkg, rhs) && i < len(x.Lhs) {
+					if id, ok := x.Lhs[i].(*ast.Ident); ok {
+						clockVars[id.Name] = rhs
+						if inGate() {
+							gated[rhs] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isHistogramConsumer(pkg, x) {
+				for _, a := range x.Args {
+					// h.Since(time.Now()) — direct
+					if isTimeNow(pkg, a) && !inGate() {
+						findings = append(findings, finding(pkg, "BV005", a,
+							"%s reads the clock for a histogram without a live-registry gate — disabled metrics still pay for time.Now()", funcName(fd)))
+						continue
+					}
+					// h.Since(t) / h.Observe(time.Since(t)) — via variable
+					names := identNames(a)
+					for _, nm := range names {
+						if src, ok := clockVars[nm]; ok && !gated[src] {
+							findings = append(findings, finding(pkg, "BV005", src,
+								"%s reads the clock for a histogram without a live-registry gate — wrap the time.Now() in the metrics-enabled check", funcName(fd)))
+							gated[src] = true // report once per read
+						}
+					}
+				}
+			}
+		}
+		walkNode(n, walk)
+	}
+	walkNode(fd.Body, walk)
+	return findings
+}
+
+func isGateName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "timed") || strings.Contains(l, "enabled") || strings.Contains(l, "live")
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isTimeNow matches time.Now() (possibly wrapped in time.Since(...)).
+func isTimeNow(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if calleePkgName(pkg, call) == "time" {
+		switch calleeName(call) {
+		case "Now":
+			return true
+		case "Since":
+			return true
+		}
+	}
+	return false
+}
+
+// isHistogramConsumer matches h.Since(...)/h.Observe(...) where h is a
+// metrics histogram, and Observe(time.Since(t)) chains.
+func isHistogramConsumer(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Since" && sel.Sel.Name != "Observe" {
+		return false
+	}
+	pn, tn := typePkgAndName(pkg, sel.X)
+	return pn == "metrics" && (tn == "Histogram" || tn == "Counter" || tn == "Gauge")
+}
+
+func identNames(e ast.Expr) []string {
+	var names []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	return names
+}
+
+// walkNode visits direct children via ast.Inspect one level at a time.
+func walkNode(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if child == nil {
+			return false
+		}
+		f(child)
+		return false
+	})
+}
+
+// --- BV006 metric-names --------------------------------------------------
+//
+// Every package keeps its metric names in one definition site — a
+// function whose name contains "metrics" or a file named metrics*.go —
+// so the name census in docs/operations.md stays auditable and
+// duplicate-name panics cannot hide in distant call sites. Registration
+// calls (reg.Counter/Gauge/Histogram/BindCounter/BindCounterFunc/
+// BindGaugeFunc) elsewhere are flagged. The metrics package itself (the
+// implementation) is exempt.
+
+var registerMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"BindCounter": true, "BindCounterFunc": true, "BindGaugeFunc": true,
+}
+
+func metricDefinitionSite(pkg *Package) []Finding {
+	if pkg.Pkg.Name() == "metrics" {
+		return nil
+	}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		base := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		fileOK := strings.HasPrefix(base, "metrics")
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			funcOK := strings.Contains(strings.ToLower(fd.Name.Name), "metrics")
+			if fileOK || funcOK {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !registerMethods[sel.Sel.Name] {
+					return true
+				}
+				pn, tn := typePkgAndName(pkg, sel.X)
+				if pn != "metrics" || tn != "Registry" {
+					return true
+				}
+				findings = append(findings, finding(pkg, "BV006", call,
+					"metric registered in %s — move it to the package's metrics definition site (an init*Metrics func or metrics*.go file)", funcName(fd)))
+				return true
+			})
+		}
+	}
+	return findings
+}

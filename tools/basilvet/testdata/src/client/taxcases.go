@@ -1,0 +1,66 @@
+// Package client is a basilvet fixture for the BV005 metrics-tax pass,
+// which keys off hot-path package *names* (replica, store, wal,
+// transport, client): clock reads feeding latency histograms must be
+// gated on a live registry or a non-nil handle.
+package client
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+type actor struct {
+	timed    bool
+	reg      *metrics.Registry
+	h        *metrics.Histogram
+	deadline time.Time
+}
+
+// --- positives ---
+
+func (a *actor) directUngated() {
+	defer a.h.Since(time.Now()) // want BV005
+}
+
+func (a *actor) varUngated() {
+	t0 := time.Now() // want BV005
+	a.work()
+	a.h.Since(t0)
+}
+
+// --- negatives ---
+
+func (a *actor) gatedOnTimed() {
+	var t0 time.Time
+	if a.timed {
+		t0 = time.Now()
+	}
+	a.work()
+	if a.timed {
+		a.h.Since(t0)
+	}
+}
+
+func (a *actor) gatedOnHandle() {
+	if a.h != nil {
+		defer a.h.Since(time.Now())
+	}
+	a.work()
+}
+
+func (a *actor) gatedOnEnabled() {
+	if a.reg.Enabled() {
+		defer a.h.Since(time.Now())
+	}
+	a.work()
+}
+
+// clockForProtocol: time.Now() not feeding a histogram (deadlines, cache
+// stamps, backoff) is protocol time, not instrumentation — never flagged.
+func (a *actor) clockForProtocol() bool {
+	a.deadline = time.Now().Add(time.Second)
+	return time.Now().Before(a.deadline)
+}
+
+func (a *actor) work() {}

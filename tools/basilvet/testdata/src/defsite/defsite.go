@@ -1,0 +1,36 @@
+// Package defsite is a basilvet fixture for the BV006 metric-names pass:
+// registrations must live in a *metrics* function or a metrics*.go file.
+package defsite
+
+import "repro/internal/metrics"
+
+type comp struct {
+	reg  *metrics.Registry
+	hits *metrics.Counter
+	lat  *metrics.Histogram
+}
+
+// --- positives ---
+
+func (c *comp) setup() {
+	c.hits = c.reg.Counter("fixture_hits_total") // want BV006
+}
+
+func newComp(reg *metrics.Registry) *comp {
+	c := &comp{reg: reg}
+	c.lat = reg.Histogram("fixture_latency_seconds") // want BV006
+	return c
+}
+
+// --- negatives ---
+
+// initMetrics is a definition site by function name.
+func (c *comp) initMetrics() {
+	c.hits = c.reg.Counter("fixture_hits_total")
+	c.lat = c.reg.Histogram("fixture_latency_seconds")
+}
+
+// snapshot uses handles without registering anything.
+func (c *comp) snapshot() {
+	c.hits.Inc()
+}

@@ -1,0 +1,60 @@
+// Package errcases is a basilvet fixture for the BV003 error-hygiene pass
+// (discarded wal/store/transport/os errors) and the BV000 bare-nolint
+// rule.
+package errcases
+
+import (
+	"os"
+
+	"repro/internal/wal"
+)
+
+type box struct {
+	log *wal.Log
+}
+
+// --- positives ---
+
+func (b *box) discardedRemove(p string) {
+	os.Remove(p) // want BV003
+}
+
+func (b *box) blankedAppend(rec []byte) {
+	_ = b.log.Append(rec) // want BV003
+}
+
+// bareNolint: an unjustified suppression is itself a finding and
+// suppresses nothing — both codes fire on the line above.
+func (b *box) bareNolint(p string) {
+	os.Remove(p) //nolint:basilvet
+	// want-prev BV000 BV003
+}
+
+func (b *box) discardedInClosure(run func(func()), p string) {
+	run(func() {
+		os.Remove(p) // want BV003
+	})
+}
+
+// --- negatives ---
+
+func (b *box) handledRemove(p string) error {
+	return os.Remove(p)
+}
+
+func (b *box) checkedAppend(rec []byte) {
+	if err := b.log.Append(rec); err != nil {
+		panic(err)
+	}
+}
+
+// fileCloseExempt: (*os.File).Close on error paths is idiomatic and
+// carries no data.
+func (b *box) fileCloseExempt(f *os.File) {
+	f.Close()
+}
+
+func (b *box) justifiedDiscard(p string) {
+	//nolint:basilvet — fixture: best-effort cleanup, failure costs disk not correctness
+	os.Remove(p)
+}

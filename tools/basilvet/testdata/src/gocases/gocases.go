@@ -1,0 +1,75 @@
+// Package gocases is a basilvet fixture for the BV004 goroutine-hygiene
+// pass: goroutines launched by a type with a Close method must be
+// WaitGroup-tracked or bound to a stop/closed signal.
+package gocases
+
+import "sync"
+
+type server struct {
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+	n      int
+}
+
+// Close makes server a closer type, putting its goroutines in scope.
+func (s *server) Close() {
+	close(s.stopCh)
+	s.wg.Wait()
+}
+
+// --- positives ---
+
+func (s *server) startUntracked() {
+	go s.spin() // want BV004
+}
+
+func (s *server) startUntrackedLit() {
+	go func() { // want BV004
+		s.n++
+	}()
+}
+
+// spin has no stop signal and is not wg-tracked at its launch site.
+func (s *server) spin() {
+	for i := 0; i < 1000; i++ {
+		s.n++
+	}
+}
+
+// --- negatives ---
+
+func (s *server) startTracked() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.n++
+	}()
+}
+
+func (s *server) startDrainable() {
+	go func() {
+		<-s.stopCh
+	}()
+}
+
+func (s *server) startSignalMethod() {
+	go s.loopUntilStop()
+}
+
+func (s *server) loopUntilStop() {
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+			s.n++
+		}
+	}
+}
+
+// notACloser has no Close method, so its goroutines are out of scope.
+type notACloser struct{ n int }
+
+func (c *notACloser) start() {
+	go func() { c.n++ }()
+}

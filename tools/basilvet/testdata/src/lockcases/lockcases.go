@@ -1,0 +1,147 @@
+// Package lockcases is a basilvet fixture: positive and negative cases
+// for the BV001 lock-discipline pass. Lines carrying a `// want BVxxx`
+// marker must be reported; everything else must stay silent.
+package lockcases
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+type svc struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	net  transport.Network
+	addr transport.Addr
+	log  *wal.Log
+	sg   cryptoutil.Signer
+	ch   chan int
+	n    int
+}
+
+// --- positives ---
+
+func (s *svc) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want BV001
+	s.mu.Unlock()
+}
+
+func (s *svc) sendUnderLock(m any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net.Send(s.addr, s.addr, m) // want BV001
+}
+
+func (s *svc) chanSendUnderRLock() {
+	s.rw.RLock()
+	s.ch <- 1 // want BV001
+	s.rw.RUnlock()
+}
+
+func (s *svc) appendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.log.Append(nil); err != nil { // want BV001
+		return
+	}
+}
+
+func (s *svc) signUnderLock() {
+	s.mu.Lock()
+	sig := s.sg.Sign(nil) // want BV001
+	_ = sig
+	s.mu.Unlock()
+}
+
+func (s *svc) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want BV001
+	s.mu.Unlock()
+}
+
+// blocksTransitively is clean on its own (no lock held here)...
+func (s *svc) blocksTransitively() {
+	time.Sleep(time.Microsecond)
+}
+
+// ...but calling it under a lock is a transitive violation.
+func (s *svc) callsBlockerUnderLock() {
+	s.mu.Lock()
+	s.blocksTransitively() // want BV001
+	s.mu.Unlock()
+}
+
+// flushLocked is seeded with a pseudo-lock by the *Locked convention.
+func (s *svc) flushLocked() {
+	s.net.SendAll(s.addr, nil, nil) // want BV001
+}
+
+// --- negatives ---
+
+func (s *svc) sleepAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// condWaitIsExempt: sync.Cond.Wait releases the mutex while parked — the
+// WAL group-commit pattern — so it is not a blocking call for this rule.
+func (s *svc) condWaitIsExempt() {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// goStmtDoesNotBlockLauncher: the launched goroutine runs without the
+// launcher's locks.
+func (s *svc) goStmtDoesNotBlockLauncher() {
+	s.mu.Lock()
+	go func() { time.Sleep(time.Millisecond) }()
+	s.mu.Unlock()
+}
+
+// funcLitRunsLater: building a closure under a lock is fine; it executes
+// on another goroutine (e.g. a batch-signer callback).
+func (s *svc) funcLitRunsLater() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { s.net.Send(s.addr, s.addr, nil) }
+}
+
+// branchUnlockMerge mirrors the onST1 shape: a branch that unlocks and
+// returns does not leave the fall-through path unlocked, and a branch
+// that unlocks without returning conservatively clears the held set.
+func (s *svc) branchUnlockMerge(early bool) {
+	s.mu.Lock()
+	if early {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// justified suppression: the site is annotated with a reason, so neither
+// the direct report nor transitive reports through it fire.
+func (s *svc) annotatedBarrier() {
+	s.mu.Lock()
+	time.Sleep(time.Microsecond) //nolint:basilvet — fixture: deliberate barrier with a documented reason
+	s.mu.Unlock()
+}
+
+func (s *svc) callsAnnotatedBarrierUnderLock() {
+	s.mu.Lock()
+	s.annotatedBarrier()
+	s.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+// Package replica is a basilvet fixture for the BV002
+// log-before-externalize pass, which keys off the package *name*: promise
+// flags may only flip in functions that also append the matching WAL
+// record, and no reply may leave before the log call.
+package replica
+
+type txState struct {
+	voteReady      bool
+	decisionLogged bool
+	finalized      bool
+}
+
+type rep struct{ logged int }
+
+func (r *rep) logVoteLocked(t *txState) bool     { r.logged++; return true }
+func (r *rep) logDecisionLocked(t *txState) bool { r.logged++; return true }
+func (r *rep) signThen(p []byte, done func())    {}
+
+// --- positives ---
+
+// promiseWithoutLog flips a promise flag with no WAL append anywhere in
+// the function.
+func (r *rep) promiseWithoutLog(t *txState) {
+	t.voteReady = true // want BV002
+}
+
+// replyBeforeLog externalizes before the append.
+func (r *rep) replyBeforeLog(t *txState) {
+	r.signThen(nil, nil) // want BV002
+	r.logDecisionLocked(t)
+}
+
+// --- negatives ---
+
+// promiseWithLog is the compliant onST1 shape: append, then flip, then
+// reply.
+func (r *rep) promiseWithLog(t *txState) {
+	if !r.logVoteLocked(t) {
+		return
+	}
+	t.voteReady = true
+	r.signThen(nil, nil)
+}
+
+// decisionWithLog covers the second promise field.
+func (r *rep) decisionWithLog(t *txState) {
+	if !r.logDecisionLocked(t) {
+		return
+	}
+	t.decisionLogged = true
+	r.signThen(nil, nil)
+}
+
+// replayRestore is the documented in-memory rebuild branch: the record
+// being replayed IS the append, so the suppression carries the reason.
+func (r *rep) replayRestore(t *txState) {
+	//nolint:basilvet — fixture: replay path rebuilds the flag from the record just read
+	t.finalized = true
+}
+
+// replyInCallback builds the reply closure before logging; the closure
+// runs later on the signer goroutine, so creation order is not send
+// order.
+func (r *rep) replyInCallback(t *txState) {
+	done := func() { r.signThen(nil, nil) }
+	if !r.logVoteLocked(t) {
+		return
+	}
+	t.voteReady = true
+	done()
+}

@@ -1,26 +1,39 @@
-// Command doccheck fails (exit 1) when any Go package under the given
-// roots lacks a package-level doc comment. A package's role and its
-// locking/ownership rules belong in a doc comment where godoc and the
-// next builder can find them — `make doc-check` keeps that from rotting
-// as packages are added.
+// Command doccheck fails (exit 1) when documentation conventions the
+// codebase relies on are missing. `make doc-check` keeps them from
+// rotting as code is added. Three rules:
+//
+//  1. Every Go package under the given roots carries a package-level doc
+//     comment (role plus locking/ownership rules) on at least one
+//     non-test file.
+//  2. Every mutex field (sync.Mutex / sync.RWMutex, possibly pointer or
+//     embedded) of an exported struct type carries a doc comment saying
+//     what the lock guards — the lock hierarchy lives in godoc, and
+//     basilvet's lock-discipline pass (BV001) keys off these fields.
+//  3. Every *Locked function or method carries a doc comment that names
+//     the lock it assumes held (the text must mention "lock", "hold",
+//     or "mu") — the *Locked suffix is the other convention basilvet
+//     seeds its call-graph walk from.
 //
 // Usage: doccheck ROOT [ROOT...]  (e.g. doccheck ./internal ./basil)
 //
-// A package is documented when at least one of its non-test .go files
-// carries a doc comment on its package clause. Test-only packages
-// (_test.go files only) are skipped.
+// Test-only packages (_test.go files only) and testdata trees (analyzer
+// fixtures, not real code) are skipped.
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
+
+var lockWords = regexp.MustCompile(`(?i)\block(s|ed|ing)?\b|\bhold(s|ing)?\b|\bheld\b|\bmu\b`)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -30,24 +43,32 @@ func main() {
 	// dir -> whether any non-test file documents the package.
 	documented := make(map[string]bool)
 	hasGo := make(map[string]bool)
+	var problems []string
 	fset := token.NewFileSet()
 	for _, root := range os.Args[1:] {
 		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
 				return err
 			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 				return nil
 			}
 			dir := filepath.Dir(path)
 			hasGo[dir] = true
-			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 			if err != nil {
 				return fmt.Errorf("parse %s: %w", path, err)
 			}
 			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
 				documented[dir] = true
 			}
+			problems = append(problems, checkFile(fset, f)...)
 			return nil
 		})
 		if err != nil {
@@ -65,8 +86,107 @@ func main() {
 	for _, dir := range missing {
 		fmt.Printf("doccheck: package in %s has no package doc comment\n", dir)
 	}
-	if len(missing) > 0 {
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Printf("doccheck: %s\n", p)
+	}
+	if len(missing)+len(problems) > 0 {
 		os.Exit(1)
 	}
 	fmt.Printf("doccheck: %d packages documented\n", len(hasGo))
+}
+
+// checkFile applies the mutex-field and *Locked-method rules to one file.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	at := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !isMutexType(field.Type) {
+						continue
+					}
+					if fieldDocText(field) != "" {
+						continue
+					}
+					problems = append(problems, fmt.Sprintf(
+						"%s: mutex field %s needs a doc comment stating what it guards (lock hierarchy lives in godoc)",
+						at(field), fieldLabel(ts.Name.Name, field)))
+				}
+			}
+		case *ast.FuncDecl:
+			if !strings.HasSuffix(d.Name.Name, "Locked") || d.Name.Name == "Locked" {
+				continue
+			}
+			doc := ""
+			if d.Doc != nil {
+				doc = d.Doc.Text()
+			}
+			if lockWords.MatchString(doc) {
+				continue
+			}
+			problems = append(problems, fmt.Sprintf(
+				"%s: %s needs a doc comment naming the lock it assumes held (*Locked convention)",
+				at(d), d.Name.Name))
+		}
+	}
+	return problems
+}
+
+// isMutexType matches sync.Mutex and sync.RWMutex, optionally behind a
+// pointer (syntactic match: doccheck stays a parser-only tool).
+func isMutexType(t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// fieldDocText returns the field's doc or trailing line comment text.
+func fieldDocText(field *ast.Field) string {
+	var text string
+	if field.Doc != nil {
+		text += field.Doc.Text()
+	}
+	if field.Comment != nil {
+		text += field.Comment.Text()
+	}
+	return strings.TrimSpace(text)
+}
+
+// fieldLabel names a field for a report: Type.name, or Type.sync.Mutex
+// for embedded mutexes.
+func fieldLabel(typeName string, field *ast.Field) string {
+	if len(field.Names) > 0 {
+		var names []string
+		for _, n := range field.Names {
+			names = append(names, n.Name)
+		}
+		return typeName + "." + strings.Join(names, ",")
+	}
+	return typeName + ".(embedded mutex)"
 }
