@@ -63,11 +63,14 @@ race:
 # BENCH_parallel.json at GOMAXPROCS=4 with exactly-twice message delivery;
 # see internal/store/parallel_bench_test.go for what each side models),
 # the WAL group-commit sweep (recorded to BENCH_wal.json — the fsync
-# amortization curve across appender counts and flush windows), and the
+# amortization curve across appender counts and flush windows), the
+# checkpoint lifecycle ladder (recorded to BENCH_checkpoint.json —
+# steady-state checkpoint cost must stay flat as history grows), and the
 # wire-path benchmarks.
 bench:
 	$(GO) test ./internal/store/ -run TestWriteParallelBench -parallelbench $(CURDIR)/BENCH_parallel.json -v -count=1
 	$(GO) test ./internal/wal/ -run TestWriteWALBench -walbench $(CURDIR)/BENCH_wal.json -v -count=1
+	$(GO) test ./internal/replica/ -run TestWriteCheckpointBench -checkpointbench $(CURDIR)/BENCH_checkpoint.json -v -count=1
 	GOMAXPROCS=4 $(GO) test ./internal/store/ -run xxx -bench 'BenchmarkPrepare' -benchtime=2000x
 	$(GO) test ./internal/wal/ -run xxx -bench BenchmarkWALAppend -benchtime=1000x
 	$(GO) test ./internal/types/ -run xxx -bench BenchmarkWireCodec

@@ -295,6 +295,10 @@ func crashFuzzRun(t *testing.T, seed int64) {
 	if contradictions > 0 {
 		t.Fatalf("seed %d: restarted replica records %d committed txs as aborted", seed, contradictions)
 	}
+	// Last check by design: the bounded-state pass checkpoints at a
+	// watermark above the whole storm, which GC-truncates the finalized
+	// history the contradiction audit above reads.
+	assertReplicaStateBounded(t, cl)
 	t.Logf("seed %d: %d committed, %d unknown resolved, %d gave up, wal stats %+v",
 		seed, checker.Len(), len(unknowns), gaveUp, restarted.WALStats())
 }

@@ -171,8 +171,42 @@ func fuzzClusterRun(t *testing.T, seed int64) {
 	if err := checker.CheckTimestampOrderConsistent(); err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
+	assertReplicaStateBounded(t, cl)
 	t.Logf("seed %d: %d committed, %d unknown resolved, %d gave up",
 		seed, checker.Len(), len(unknowns), gaveUp)
+}
+
+// assertReplicaStateBounded drives one checkpoint with a watermark above
+// every storm timestamp on every replica, then asserts the retained
+// protocol state is O(live): bounded by the store's prepared set
+// (transactions whose decision never resolved), independent of how many
+// transactions the storm pushed through. This is the lifecycle oracle —
+// before watermark collection, len(Replica.txs) grew with history and
+// this assertion fails. Call it only after every store-reading audit:
+// the GC at this watermark truncates finalized history.
+func assertReplicaStateBounded(t *testing.T, cl *basil.Cluster) {
+	t.Helper()
+	// Let fire-and-forget tails (writeback broadcasts from the last
+	// recovery round) land before the collection pass.
+	time.Sleep(100 * time.Millisecond)
+	wm := types.Timestamp{Time: 1 << 40} // above every tickClock timestamp
+	for s := 0; s < cl.Shards(); s++ {
+		for i := 0; i < cl.ReplicaCount(); i++ {
+			r := cl.Replica(s, i)
+			if err := r.Checkpoint(wm); err != nil {
+				t.Fatalf("r%d.%d: checkpoint: %v", s, i, err)
+			}
+			held := r.TxStateCount()
+			live := len(r.Store().PreparedIDs())
+			// Slack covers handler tails that rebuild a state while the
+			// collection pass runs; anything beyond it is a leak.
+			const slack = 4
+			if held > live+slack {
+				t.Fatalf("r%d.%d holds %d txStates for %d live prepared transactions — protocol state is not bounded by the live set",
+					s, i, held, live)
+			}
+		}
+	}
 }
 
 // dumpStuck logs each replica's view of a transaction the healed-network

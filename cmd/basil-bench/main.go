@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, metrics, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -112,6 +112,11 @@ func main() {
 	if run("durability") {
 		any = true
 		t := benchharness.FigDurability(scale)
+		t.Render(out)
+	}
+	if run("checkpoint") {
+		any = true
+		t := benchharness.FigCheckpoint(scale)
 		t.Render(out)
 	}
 	if run("metrics") {

@@ -609,6 +609,53 @@ func FigDurability(s Scale) Table {
 	return t
 }
 
+// FigCheckpoint is a reproduction-aid experiment not in the paper: it
+// runs a durable cluster through the RW-U workload, then walks the
+// checkpoint ladder the transaction-state lifecycle introduces. The row
+// shape to look for: the watermark-zero checkpoint carries the whole
+// history (txstates stay put, the snapshot is large), the first
+// watermark-advanced checkpoint pays a one-time collection of everything
+// finished, and the steady-state checkpoint after it is cheap because
+// both the snapshot and the txState capture are O(live). The flat-in-
+// history trajectory across workload sizes is recorded by `make bench`
+// in BENCH_checkpoint.json.
+func FigCheckpoint(s Scale) Table {
+	t := Table{Title: "Checkpoint: watermark collection vs retained history (durable cluster)",
+		Header: []string{"phase", "txstates", "duration", "collected"}}
+	gen := s.ycsbRWU()
+	dir, err := os.MkdirTemp("", "ckptcluster")
+	if err != nil {
+		panic(fmt.Sprintf("benchharness: ckptcluster tmpdir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	b := NewBasil(gen, basil.Options{F: 1, Shards: 1, BatchSize: 16, VerifyWorkers: 8,
+		DataDir: dir, WALFlushDelay: 200 * time.Microsecond})
+	defer b.Close()
+	Run(b, gen, s.runCfg())
+
+	r := b.C.Replica(0, 0)
+	t.Rows = append(t.Rows, []string{"after workload", fmt.Sprint(r.TxStateCount()), "-", "-"})
+
+	ckpt := func(label string, wm types.Timestamp) {
+		t0 := time.Now()
+		if err := r.Checkpoint(wm); err != nil {
+			panic(fmt.Sprintf("benchharness: checkpoint: %v", err))
+		}
+		t.Rows = append(t.Rows, []string{label, fmt.Sprint(r.TxStateCount()),
+			time.Since(t0).Round(10 * time.Microsecond).String(),
+			fmt.Sprint(r.Stats.TxCollected.Load())})
+	}
+	// Watermark zero: nothing is collectable, the snapshot retains the
+	// entire version and outcome history — the pre-lifecycle shape.
+	ckpt("checkpoint, watermark zero (retained)", types.Timestamp{})
+	// The workload's timestamps come from the wall clock; a max watermark
+	// is above all of them, so this collects everything finished.
+	wm := types.Timestamp{Time: ^uint64(0)}
+	ckpt("checkpoint, watermark advanced (collects)", wm)
+	ckpt("steady-state checkpoint", wm)
+	return t
+}
+
 // walAppendSweep appends `total` vote-sized records split across
 // concurrent appenders and reports throughput and fsync amortization.
 func walAppendSweep(dir string, window time.Duration, appenders, total int) (perSec, fsyncsPerAppend float64, err error) {

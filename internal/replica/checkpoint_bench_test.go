@@ -1,0 +1,171 @@
+package replica
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// checkpointBenchOut makes `go test -run TestWriteCheckpointBench` write
+// the checkpoint-cost-vs-history comparison as JSON (used by `make bench`
+// to record the perf trajectory in BENCH_checkpoint.json). Empty = skipped.
+var checkpointBenchOut = flag.String("checkpointbench", "", "write the checkpoint lifecycle benchmark results as JSON to this file")
+
+// ckptBenchWM is the watermark the collected scenarios advance to: above
+// every seeded history timestamp, below every seeded live timestamp.
+const ckptBenchWM = uint64(1) << 30
+
+// seedCheckpointHistory drives n finalized transactions over a fixed
+// 512-key space plus `live` prepared (undecided) transactions above the
+// watermark, installing the same store records and txStates the protocol
+// path would — without the per-transaction WAL appends, so seeding 16k
+// transactions stays cheap and the measured checkpoints dominate.
+func seedCheckpointHistory(r *Replica, n, live int) {
+	for i := 0; i < n; i++ {
+		m := &types.TxMeta{
+			Timestamp: types.Timestamp{Time: uint64(i + 1), ClientID: 7},
+			WriteSet:  []types.WriteEntry{{Key: fmt.Sprintf("h%03d", i%512), Value: []byte("v")}},
+			Shards:    []int32{0},
+		}
+		id := m.ID()
+		r.store.CheckAndPrepare(m, id)
+		r.store.Finalize(id, m, types.DecisionCommit,
+			&types.DecisionCert{TxID: id, Decision: types.DecisionCommit})
+		t := r.tx(id)
+		t.mu.Lock()
+		t.meta = m
+		t.vote = types.VoteCommit
+		t.voteReady = true
+		t.finalized = true
+		t.mu.Unlock()
+	}
+	for i := 0; i < live; i++ {
+		m := &types.TxMeta{
+			Timestamp: types.Timestamp{Time: ckptBenchWM + uint64(i+1), ClientID: 8},
+			WriteSet:  []types.WriteEntry{{Key: fmt.Sprintf("live%03d", i), Value: []byte("v")}},
+			Shards:    []int32{0},
+		}
+		id := m.ID()
+		r.store.CheckAndPrepare(m, id)
+		t := r.tx(id)
+		t.mu.Lock()
+		t.meta = m
+		t.vote = types.VoteCommit
+		t.voteReady = true
+		r.markLive(t)
+		t.mu.Unlock()
+	}
+}
+
+// checkpointBenchRow is one history size in BENCH_checkpoint.json.
+type checkpointBenchRow struct {
+	History    int `json:"history_txns"`
+	Live       int `json:"live_txns"`
+	HeldBefore int `json:"txstates_before_collect"`
+	HeldAfter  int `json:"txstates_after_collect"`
+	// RetainedMs is a watermark-zero checkpoint: nothing collectable, the
+	// snapshot carries every version and finalized record — the pre-PR
+	// steady state, growing with history.
+	RetainedMs float64 `json:"checkpoint_retained_ms"`
+	// CollectMs is the first watermark-advanced checkpoint: the one-time
+	// O(history) pass that GCs the store and collects finished txStates.
+	CollectMs float64 `json:"first_collect_ms"`
+	// SteadyMs is a watermark-advanced checkpoint after collection: the
+	// recurring cost, which must stay flat as history grows.
+	SteadyMs float64 `json:"checkpoint_steady_ms"`
+}
+
+// TestWriteCheckpointBench measures the full durable checkpoint (store
+// GC, snapshot + txState capture into the WAL, watermark collection) on
+// replicas that have seen 1000/4000/16000 transactions over a fixed key
+// space with a fixed 64-transaction live set, and writes the comparison
+// as JSON. The acceptance shape: checkpoint_steady_ms flat across
+// history sizes (capture walks the live-set index, the GC'd store stays
+// O(keys)), while checkpoint_retained_ms grows with history. Skipped
+// unless -checkpointbench names an output file.
+func TestWriteCheckpointBench(t *testing.T) {
+	if *checkpointBenchOut == "" {
+		t.Skip("no -checkpointbench output file given")
+	}
+	const liveSet = 64
+	wm := types.Timestamp{Time: ckptBenchWM}
+
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	var rows []checkpointBenchRow
+	for _, history := range []int{1000, 4000, 16000} {
+		net := transport.NewLocal()
+		r := New(durableConfig(net, t.TempDir()))
+		seedCheckpointHistory(r, history, liveSet)
+
+		row := checkpointBenchRow{History: history, Live: liveSet, HeldBefore: r.TxStateCount()}
+		t0 := time.Now()
+		if err := r.Checkpoint(types.Timestamp{}); err != nil {
+			t.Fatalf("history %d: retained checkpoint: %v", history, err)
+		}
+		row.RetainedMs = ms(time.Since(t0))
+
+		t0 = time.Now()
+		if err := r.Checkpoint(wm); err != nil {
+			t.Fatalf("history %d: collecting checkpoint: %v", history, err)
+		}
+		row.CollectMs = ms(time.Since(t0))
+		row.HeldAfter = r.TxStateCount()
+
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			t0 = time.Now()
+			if err := r.Checkpoint(wm); err != nil {
+				t.Fatalf("history %d: steady checkpoint: %v", history, err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		row.SteadyMs = ms(best)
+		rows = append(rows, row)
+
+		r.Close()
+		net.Close()
+	}
+
+	first, last := rows[0], rows[len(rows)-1]
+	out := struct {
+		Benchmark string               `json:"benchmark"`
+		Workload  string               `json:"workload"`
+		Results   []checkpointBenchRow `json:"results"`
+		// RetainedGrowth is the watermark-zero checkpoint cost at the
+		// largest history relative to the smallest — the pre-lifecycle
+		// trajectory (grows with transactions seen).
+		RetainedGrowth float64 `json:"retained_growth"`
+		// SteadyGrowth is the same ratio for watermark-advanced
+		// checkpoints — the lifecycle claim is that this stays near 1
+		// over a 16x history spread.
+		SteadyGrowth float64 `json:"steady_growth"`
+	}{
+		Benchmark:      "TestWriteCheckpointBench",
+		Workload:       "finalized history over 512 keys + 64 live prepared txns, durable replica, full checkpoint (GC + WAL snapshot + collection)",
+		Results:        rows,
+		RetainedGrowth: last.RetainedMs / first.RetainedMs,
+		SteadyGrowth:   last.SteadyMs / first.SteadyMs,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*checkpointBenchOut, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", *checkpointBenchOut, err)
+	}
+	for _, row := range rows {
+		t.Logf("history %5d: retained %.2fms, collect %.2fms, steady %.3fms, held %d -> %d",
+			row.History, row.RetainedMs, row.CollectMs, row.SteadyMs, row.HeldBefore, row.HeldAfter)
+	}
+	t.Logf("retained growth %.2fx vs steady growth %.2fx over a 16x history spread",
+		out.RetainedGrowth, out.SteadyGrowth)
+}

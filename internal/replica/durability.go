@@ -190,6 +190,7 @@ func (r *Replica) applyRecord(raw []byte) (types.Timestamp, error) {
 			t.vote = vote
 			//nolint:basilvet — replay path: this promise flag is being rebuilt FROM the WAL record just read, so the append already happened (in the crashed run); re-appending here would duplicate it.
 			t.voteReady = true
+			r.markLive(t)
 			if vote == types.VoteCommit && meta != nil {
 				r.store.RestorePrepared(meta, id)
 			}
@@ -222,6 +223,7 @@ func (r *Replica) applyRecord(raw []byte) (types.Timestamp, error) {
 		if t.viewCurrent < view {
 			t.viewCurrent = view
 		}
+		r.markLive(t)
 		t.mu.Unlock()
 
 	case walRecFinal:
@@ -238,21 +240,28 @@ func (r *Replica) applyRecord(raw []byte) (types.Timestamp, error) {
 			ts = meta.Timestamp
 		}
 		r.store.Finalize(id, meta, dec, cert)
-		t := r.tx(id)
-		t.mu.Lock()
-		if t.meta == nil {
-			t.meta = meta
-		}
-		t.finalized = true
-		if !t.voteReady {
-			t.checkStarted = true
-			t.vote = types.VoteCommit
-			if dec == types.DecisionAbort {
-				t.vote = types.VoteAbort
+		// Replay rebuilds only un-collected state: no txState is created
+		// for a bare final record — the outcome lives in the store, and
+		// any late duplicate is served from there (lifecycle.go). A state
+		// rebuilt by earlier vote/decision records is marked finalized and
+		// leaves the live capture index.
+		if t := r.peekTx(id); t != nil {
+			t.mu.Lock()
+			if t.meta == nil {
+				t.meta = meta
 			}
-			t.voteReady = true
+			t.finalized = true
+			if !t.voteReady {
+				t.checkStarted = true
+				t.vote = types.VoteCommit
+				if dec == types.DecisionAbort {
+					t.vote = types.VoteAbort
+				}
+				t.voteReady = true
+			}
+			t.mu.Unlock()
+			r.unmarkLive(id)
 		}
-		t.mu.Unlock()
 
 	default:
 		return ts, fmt.Errorf("unknown record tag %d", tag)
@@ -272,14 +281,21 @@ func walDecodeMetaOpt(b []byte) (*types.TxMeta, []byte, error) {
 
 // --- checkpointing ---
 
-// Checkpoint garbage-collects state below the watermark and writes a
-// durable snapshot superseding the log so far; replay becomes snapshot +
-// suffix. The watermark must trail every timestamp still in flight (see
-// store.GC); the periodic loop uses now − 2δ.
+// Checkpoint garbage-collects store history and finished protocol state
+// below the watermark and — when the replica is durable — writes a
+// snapshot superseding the log so far; replay becomes snapshot + suffix.
+// The watermark must trail every timestamp still in flight (see store.GC);
+// the periodic loop uses now − 2δ. On an in-memory replica only the GC
+// and the txState collection run.
+//
+// Order matters: the collect watermark is published first, so from that
+// point every below-watermark message for an unknown transaction is
+// answered from the store's finalized table or dropped (lifecycle.go) —
+// the state collected at the end of this pass cannot be rebuilt as
+// votable in between. The watermark is clamped monotonic: a caller
+// passing a lower value than an earlier pass cannot un-promise drops
+// already taken.
 func (r *Replica) Checkpoint(watermark types.Timestamp) error {
-	if r.wal == nil {
-		return nil
-	}
 	var start time.Time
 	if r.mx.timed {
 		start = time.Now()
@@ -290,33 +306,59 @@ func (r *Replica) Checkpoint(watermark types.Timestamp) error {
 			r.mx.checkpoint.Since(start)
 		}
 	}()
+	r.mu.Lock()
+	if r.collectWM.Less(watermark) {
+		r.collectWM = watermark
+	} else {
+		watermark = r.collectWM
+	}
+	r.mu.Unlock()
 	r.store.GC(watermark)
-	return r.wal.Checkpoint(func() []byte {
-		// Drain finalizes that logged their record before the rotation
-		// but have not applied it to the store yet — otherwise that
-		// record is pruned and the outcome misses the snapshot too. New
-		// finalizes log into the kept suffix, so fuzzy capture past this
-		// fence is safe (replay is idempotent).
-		r.applyMu.Lock()
-		r.applyMu.Unlock() //nolint:staticcheck // barrier, not a critical section
-		b := r.store.Snapshot(nil)
-		return r.appendTxSnapshot(b)
-	})
+	if r.wal != nil {
+		err := r.wal.Checkpoint(func() []byte {
+			// Drain finalizes that logged their record before the rotation
+			// but have not applied it to the store yet — otherwise that
+			// record is pruned and the outcome misses the snapshot too. New
+			// finalizes log into the kept suffix, so fuzzy capture past this
+			// fence is safe (replay is idempotent).
+			r.applyMu.Lock()
+			r.applyMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+			b := r.store.Snapshot(nil)
+			return r.appendTxSnapshot(b, watermark)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	r.collectBelow(watermark)
+	return nil
 }
+
+// txSnapVersion versions the checkpoint's replica section; v2 added the
+// persisted collect watermark and live-set capture. No cross-version
+// compatibility is promised: a restart on an older-format data dir fails
+// loudly in restoreTxSection rather than guessing.
+const txSnapVersion = 2
 
 // appendTxSnapshot appends the replica's per-transaction promises (fixed
 // votes, logged decisions, views) for transactions not yet finalized —
-// finalized outcomes live in the store section. The capture is fuzzy
-// against concurrent handlers, which is safe: anything promised after
-// the checkpoint's rotation is also in the kept log suffix, and replay
-// is idempotent across the overlap.
-func (r *Replica) appendTxSnapshot(b []byte) []byte {
+// finalized outcomes live in the store section. The walk covers the live
+// index, not all of txs, so capture cost and r.mu hold time are
+// proportional to transactions still holding an unfinalized promise, not
+// to history. The capture is fuzzy against concurrent handlers, which is
+// safe: anything promised after the checkpoint's rotation is also in the
+// kept log suffix, and replay is idempotent across the overlap.
+func (r *Replica) appendTxSnapshot(b []byte, wm types.Timestamp) []byte {
 	r.mu.Lock()
-	states := make([]*txState, 0, len(r.txs))
-	for _, t := range r.txs {
+	states := make([]*txState, 0, len(r.live))
+	for _, t := range r.live {
 		states = append(states, t)
 	}
 	r.mu.Unlock()
+
+	b = append(b, txSnapVersion)
+	b = binary.BigEndian.AppendUint64(b, wm.Time)
+	b = binary.BigEndian.AppendUint64(b, wm.ClientID)
 
 	var body []byte
 	n := 0
@@ -344,13 +386,27 @@ func (r *Replica) appendTxSnapshot(b []byte) []byte {
 	return append(b, body...)
 }
 
-// restoreTxSection rebuilds txStates from a checkpoint's replica section.
+// restoreTxSection rebuilds txStates from a checkpoint's replica section
+// and restores the collect watermark, so a restarted replica keeps the
+// stale-drop guarantee for everything collected pre-crash.
 func (r *Replica) restoreTxSection(b []byte) error {
-	if len(b) < 4 {
+	if len(b) < 1+16+4 {
 		return types.ErrTruncated
 	}
-	n := int(binary.BigEndian.Uint32(b))
-	b = b[4:]
+	if b[0] != txSnapVersion {
+		return fmt.Errorf("replica: checkpoint tx section version %d, want %d", b[0], txSnapVersion)
+	}
+	wm := types.Timestamp{
+		Time:     binary.BigEndian.Uint64(b[1:9]),
+		ClientID: binary.BigEndian.Uint64(b[9:17]),
+	}
+	r.mu.Lock()
+	if r.collectWM.Less(wm) {
+		r.collectWM = wm
+	}
+	r.mu.Unlock()
+	n := int(binary.BigEndian.Uint32(b[17:21]))
+	b = b[21:]
 	for i := 0; i < n; i++ {
 		if len(b) < 32+3+16 {
 			return types.ErrTruncated
@@ -380,6 +436,7 @@ func (r *Replica) restoreTxSection(b []byte) error {
 		}
 		t.viewDecision = viewDec
 		t.viewCurrent = viewCur
+		r.markLive(t)
 		t.mu.Unlock()
 	}
 	return nil

@@ -37,6 +37,18 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 	}
 	r.Stats.FallbackInvoke.Add(1)
 
+	// Resurrection guard (lifecycle.go): recovery of a collected
+	// transaction is answered from the store's finalized table; a
+	// below-watermark invocation with no provable outcome is dropped.
+	switch rec, oc := r.lifecycleCheck(m.TxID, m.Meta.Timestamp); oc {
+	case lifecycleStale:
+		return
+	case lifecycleServed:
+		if r.serveFinalized(from, m.ReqID, rec) {
+			return
+		}
+	}
+
 	// Verify the signed current views attached to the invocation.
 	views := make([]uint64, 0, len(m.ST2Rs))
 	for i := range m.ST2Rs {
@@ -55,18 +67,26 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 	if t.meta == nil {
 		t.meta = m.Meta
 	}
-	t.interested[from] = m.ReqID
 
 	if t.finalized {
-		t.mu.Unlock()
+		// Serve the certificate when the store still proves it — without
+		// registering interest, so an answered client does not pin the
+		// state as non-collectable. Only a certless finalized record (the
+		// certificate never reached this replica) keeps the client
+		// registered for the eventual writeback's notification round.
 		if rec, ok := r.store.Tx(m.TxID); ok && rec.Cert != nil {
+			t.mu.Unlock()
 			r.send(from, &types.ST1Reply{
 				ReqID: m.ReqID, TxID: m.TxID, ShardID: r.cfg.Shard, ReplicaID: r.cfg.Index,
 				RPKind: types.RPCert, Cert: rec.Cert, CertMeta: rec.Meta,
 			})
+			return
 		}
+		r.addWaiterLocked(&t.interested, from, m.ReqID)
+		t.mu.Unlock()
 		return
 	}
+	r.addWaiterLocked(&t.interested, from, m.ReqID)
 
 	// View reconciliation (paper §5 step 2 box, rules R1/R2 with vote
 	// subsumption). An InvokeFB without view evidence is accepted only at
@@ -98,6 +118,7 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 				t.mu.Unlock()
 				return
 			}
+			r.markLive(t)
 		}
 	}
 	if !t.decisionLogged {
@@ -263,6 +284,16 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 		return
 	}
 
+	// Resurrection guard: a DecFB carries no timestamp, so only the
+	// proven-outcome verdict applies — a collected transaction the store
+	// already finalized has nothing left to reconcile, and no interested
+	// clients are pinned to the vanished state.
+	if r.peekTx(m.TxID) == nil {
+		if _, done := r.store.FinalizedOutcome(m.TxID); done {
+			return
+		}
+	}
+
 	t := r.tx(m.TxID)
 	t.mu.Lock()
 	if t.viewCurrent > m.View {
@@ -279,7 +310,10 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 		t.mu.Unlock()
 		return
 	}
-	for addr, reqID := range t.interested {
+	if !t.finalized {
+		r.markLive(t)
+	}
+	for addr, reqID := range t.interested.m {
 		r.replyLoggedDecisionST2Locked(addr, reqID, t)
 	}
 	t.mu.Unlock()

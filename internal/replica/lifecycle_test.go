@@ -1,0 +1,207 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Lifecycle regression tests: watermark collection, the resurrection
+// guard (late duplicates for collected transactions re-serve the store's
+// finalized outcome), and the waiter-set cap.
+
+// TestWaiterSetCapEvictsOldest pins the waiterSet contract directly:
+// update-in-place for a repeated address, evict-oldest at capacity.
+func TestWaiterSetCapEvictsOldest(t *testing.T) {
+	var ws waiterSet
+	for i := 0; i < maxTxWaiters; i++ {
+		if ws.add(transport.ClientAddr(int32(i)), uint64(i)) {
+			t.Fatalf("eviction below capacity at %d", i)
+		}
+	}
+	// Re-adding an existing address updates in place, no eviction.
+	if ws.add(transport.ClientAddr(3), 99) {
+		t.Fatal("update-in-place evicted")
+	}
+	if ws.length() != maxTxWaiters || ws.m[transport.ClientAddr(3)] != 99 {
+		t.Fatalf("length=%d reqID=%d after update", ws.length(), ws.m[transport.ClientAddr(3)])
+	}
+	// One past capacity: the oldest entry (addr 0) goes.
+	if !ws.add(transport.ClientAddr(1000), 1) {
+		t.Fatal("no eviction at capacity")
+	}
+	if ws.length() != maxTxWaiters {
+		t.Fatalf("length=%d after eviction, want %d", ws.length(), maxTxWaiters)
+	}
+	if _, still := ws.m[transport.ClientAddr(0)]; still {
+		t.Fatal("oldest entry survived eviction")
+	}
+}
+
+// TestVoteWaiterCapBoundsMemory is the failing-before test for the waiter
+// cap: a herd of distinct client addresses hammering ST1 for one
+// vote-deferred transaction used to grow t.voteWaiters without bound; now
+// the set is capped with evictions counted.
+func TestVoteWaiterCapBoundsMemory(t *testing.T) {
+	r, net := newTestReplica(t, 1)
+	defer net.Close()
+	defer r.Close()
+	client, st1, _ := captureClient(net, 9)
+
+	// D: prepared with a commit vote; X depends on D, so X's vote defers
+	// and every duplicate ST1 for X queues as a vote waiter.
+	mD := st1For("d", 10)
+	idD := mD.Meta.ID()
+	r.Deliver(client, mD)
+	awaitReply(t, st1, idD)
+	metaX := &types.TxMeta{
+		Timestamp: types.Timestamp{Time: 20, ClientID: 9},
+		WriteSet:  []types.WriteEntry{{Key: "x", Value: []byte("v")}},
+		Deps:      []types.Dependency{{TxID: idD, Version: mD.Meta.Timestamp}},
+		Shards:    []int32{0},
+	}
+	idX := metaX.ID()
+	herd := 2 * maxTxWaiters
+	for i := 0; i < herd; i++ {
+		r.Deliver(transport.ClientAddr(int32(100+i)), &types.ST1Request{
+			ReqID: uint64(i + 1), ClientID: uint64(100 + i), Meta: metaX,
+		})
+	}
+	waitFor(t, func() bool { return r.Stats.WaiterEvictions.Load() >= uint64(herd-maxTxWaiters) })
+	tx := r.peekTx(idX)
+	tx.mu.Lock()
+	n := tx.voteWaiters.length()
+	tx.mu.Unlock()
+	if n > maxTxWaiters {
+		t.Fatalf("voteWaiters grew to %d, cap is %d", n, maxTxWaiters)
+	}
+}
+
+// TestCollectedDuplicateServedFromStore is the resurrection-bug
+// regression: after the watermark passes a finalized transaction and its
+// txState is collected, a late duplicate ST1 must be answered with the
+// finalized outcome from the store (RPCert) and must NOT rebuild votable
+// protocol state.
+func TestCollectedDuplicateServedFromStore(t *testing.T) {
+	r, net := newTestReplica(t, 1)
+	defer net.Close()
+	defer r.Close()
+	client, st1, _ := captureClient(net, 9)
+
+	m := st1For("k", 10)
+	id := m.Meta.ID()
+	r.Deliver(client, m)
+	if rep := awaitReply(t, st1, id); rep.Vote != types.VoteCommit {
+		t.Fatalf("setup vote: %v", rep.Vote)
+	}
+	cert := &types.DecisionCert{TxID: id, Decision: types.DecisionCommit}
+	r.finalize(id, m.Meta, types.DecisionCommit, cert)
+
+	if err := r.Checkpoint(types.Timestamp{Time: 1000}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if n := r.TxStateCount(); n != 0 {
+		t.Fatalf("txStates after collect = %d, want 0", n)
+	}
+
+	// Late duplicate: outcome re-served from the store's finalized table.
+	r.Deliver(client, &types.ST1Request{ReqID: 7, ClientID: 9, Meta: m.Meta})
+	rep := awaitReply(t, st1, id)
+	if rep.RPKind != types.RPCert || rep.Cert == nil || rep.Cert.Decision != types.DecisionCommit {
+		t.Fatalf("late duplicate got %v (cert=%v), want RPCert commit", rep.RPKind, rep.Cert)
+	}
+	if r.peekTx(id) != nil {
+		t.Fatal("late duplicate resurrected a txState")
+	}
+
+	// Same guard on the recovery and fallback entry points.
+	r.Deliver(client, &types.ST1Request{ReqID: 8, ClientID: 9, Meta: m.Meta, Recovery: true})
+	if rep := awaitReply(t, st1, id); rep.RPKind != types.RPCert || rep.Cert == nil {
+		t.Fatalf("recovery duplicate got %v, want RPCert", rep.RPKind)
+	}
+	r.Deliver(client, &types.InvokeFB{ReqID: 9, ClientID: 9, TxID: id, Meta: m.Meta})
+	if rep := awaitReply(t, st1, id); rep.RPKind != types.RPCert || rep.Cert == nil {
+		t.Fatalf("InvokeFB duplicate got %v, want RPCert", rep.RPKind)
+	}
+	if r.peekTx(id) != nil {
+		t.Fatal("recovery path resurrected a txState")
+	}
+}
+
+// TestStaleBelowWatermarkDropped: a below-watermark request for a
+// transaction with no provable outcome (its history was GC-truncated, or
+// it never existed) is dropped, not re-checked — re-running the MVTSO
+// check against truncated history could contradict a collected vote.
+func TestStaleBelowWatermarkDropped(t *testing.T) {
+	r, net := newTestReplica(t, 1)
+	defer net.Close()
+	defer r.Close()
+	client, st1, _ := captureClient(net, 9)
+
+	if err := r.Checkpoint(types.Timestamp{Time: 500}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	mStale := st1For("ghost", 100) // below the watermark, never seen
+	idStale := mStale.Meta.ID()
+	r.Deliver(client, mStale)
+	waitFor(t, func() bool { return r.Stats.StaleDrops.Load() >= 1 })
+	if r.peekTx(idStale) != nil {
+		t.Fatal("stale request built protocol state")
+	}
+
+	// Liveness above the watermark is untouched.
+	mLive := st1For("live", 600)
+	r.Deliver(client, mLive)
+	if rep := awaitReply(t, st1, mLive.Meta.ID()); rep.Vote != types.VoteCommit {
+		t.Fatalf("above-watermark vote: %v", rep.Vote)
+	}
+}
+
+// TestCheckpointCollectsOnlyFinishedState: the collector takes finalized
+// and promise-free states below the watermark but never prepared
+// (undecided) transactions, whatever their timestamp — dependents still
+// need their decisions.
+func TestCheckpointCollectsOnlyFinishedState(t *testing.T) {
+	r, net := newTestReplica(t, 1)
+	defer net.Close()
+	defer r.Close()
+	client, st1, _ := captureClient(net, 9)
+
+	const finalized = 5
+	for i := 0; i < finalized; i++ {
+		m := st1For(fmt.Sprintf("k%d", i), uint64(10+i))
+		id := m.Meta.ID()
+		r.Deliver(client, m)
+		awaitReply(t, st1, id)
+		r.finalize(id, m.Meta, types.DecisionCommit,
+			&types.DecisionCert{TxID: id, Decision: types.DecisionCommit})
+	}
+	mPrep := st1For("prep", 50)
+	idPrep := mPrep.Meta.ID()
+	r.Deliver(client, mPrep)
+	awaitReply(t, st1, idPrep)
+	if r.TxStateCount() != finalized+1 {
+		t.Fatalf("setup: %d states", r.TxStateCount())
+	}
+
+	if err := r.Checkpoint(types.Timestamp{Time: 1000}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if n := r.TxStateCount(); n != 1 {
+		t.Fatalf("txStates after collect = %d, want 1 (the prepared one)", n)
+	}
+	if r.Store().TxStatusOf(idPrep) != store.StatusPrepared {
+		t.Fatal("prepared transaction lost")
+	}
+	if got := r.Stats.TxCollected.Load(); got != finalized {
+		t.Fatalf("TxCollected = %d, want %d", got, finalized)
+	}
+	// The survivor still answers duplicates with its original vote.
+	r.Deliver(client, &types.ST1Request{ReqID: 9, ClientID: 9, Meta: mPrep.Meta})
+	if rep := awaitReply(t, st1, idPrep); rep.Vote != types.VoteCommit {
+		t.Fatalf("prepared survivor vote: %v", rep.Vote)
+	}
+}

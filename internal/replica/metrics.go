@@ -69,6 +69,15 @@ func (r *Replica) initMetrics(reg *metrics.Registry) {
 	reg.BindCounter("basil_replica_sigs_signed_total", &r.Stats.SigsSigned)
 	reg.BindCounter("basil_replica_sigs_verified_total", &r.Stats.SigsVerified)
 
+	// Transaction-state lifecycle (lifecycle.go): held states, watermark
+	// collections, waiter-cap evictions, and stale below-watermark drops.
+	// txstates held vs basil_store_txns is the retention signal operators
+	// alert on (docs/operations.md).
+	reg.BindGaugeFunc("basil_replica_txstates", func() int64 { return int64(r.TxStateCount()) })
+	reg.BindCounter("basil_replica_txstates_collected_total", &r.Stats.TxCollected)
+	reg.BindCounter("basil_replica_waiters_evicted_total", &r.Stats.WaiterEvictions)
+	reg.BindCounter("basil_replica_stale_drops_total", &r.Stats.StaleDrops)
+
 	// Deliver latency by message kind (handler run time on the pool).
 	for k := 0; k < kindCount; k++ {
 		r.mx.deliver[k] = reg.Histogram("basil_replica_deliver_latency_seconds", "kind", kindNames[k])

@@ -19,16 +19,30 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 	id := m.Meta.ID()
 	r.Stats.ST1s.Add(1)
 
+	// Resurrection guard (lifecycle.go): a duplicate for a collected
+	// transaction is answered from the store's finalized table, a
+	// below-watermark request with no provable outcome is dropped —
+	// neither rebuilds votable state.
+	switch rec, oc := r.lifecycleCheck(id, m.Meta.Timestamp); oc {
+	case lifecycleStale:
+		return
+	case lifecycleServed:
+		if r.serveFinalized(from, m.ReqID, rec) {
+			return
+		}
+	}
+
 	t := r.tx(id)
 	t.mu.Lock()
 	if t.meta == nil {
 		t.meta = m.Meta
 	}
 	if m.Recovery {
-		t.interested[from] = m.ReqID
 		// Recovery fast-forward: if we already hold a certificate or a
 		// logged decision, return that instead of a plain vote (paper §5
-		// common case).
+		// common case). Interest is registered only when the request is
+		// not answered with the certificate right here — an immediately
+		// served client must not pin the state as non-collectable.
 		if rec, ok := r.store.Tx(id); ok && rec.Cert != nil &&
 			(rec.Status == store.StatusCommitted || rec.Status == store.StatusAborted) {
 			reply := &types.ST1Reply{
@@ -40,6 +54,7 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 			r.send(from, reply)
 			return
 		}
+		r.addWaiterLocked(&t.interested, from, m.ReqID)
 		if t.decisionLogged {
 			r.replyLoggedDecisionLocked(from, m.ReqID, t)
 			// Fall through to the stage-1 vote as well: recovery must
@@ -59,7 +74,7 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 	if t.checkStarted {
 		// The check is running on another worker or waiting on
 		// dependencies; owe this client a vote.
-		t.voteWaiters[from] = m.ReqID
+		r.addWaiterLocked(&t.voteWaiters, from, m.ReqID)
 		t.mu.Unlock()
 		return
 	}
@@ -82,7 +97,7 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 	if vote == types.VoteCommit && len(pendingDeps) > 0 {
 		// Algorithm 1 line 15: defer the vote until dependencies decide.
 		r.Stats.DepWaits.Add(1)
-		t.voteWaiters[from] = m.ReqID
+		r.addWaiterLocked(&t.voteWaiters, from, m.ReqID)
 		if depAborted {
 			t.depAborted = true
 		}
@@ -215,6 +230,9 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 			case store.StatusAborted:
 				t.vote, t.voteReady = types.VoteAbort, true
 			}
+			if t.voteReady && !t.finalized {
+				r.markLive(t)
+			}
 		}
 		return
 	}
@@ -235,6 +253,7 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 		t.voteConflict, t.conflictMeta = nil, nil
 		return
 	}
+	r.markLive(t)
 	if vote == types.VoteCommit {
 		r.Stats.VotesCommit.Add(1)
 	} else {
@@ -247,7 +266,7 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 // on this goroutine when it completes a batch or batching is off).
 func (r *Replica) sendVoteLocked(to transport.Addr, reqID uint64, t *txState) {
 	if !t.voteReady {
-		t.voteWaiters[to] = reqID
+		r.addWaiterLocked(&t.voteWaiters, to, reqID)
 		return
 	}
 	reply := &types.ST1Reply{
@@ -270,13 +289,12 @@ func (r *Replica) sendVoteLocked(to transport.Addr, reqID uint64, t *txState) {
 // flushVoteWaitersLocked answers every client owed a vote. Caller holds
 // t.mu. No-op while the vote is still unresolved (or suppressed).
 func (r *Replica) flushVoteWaitersLocked(t *txState) {
-	if !t.voteReady || len(t.voteWaiters) == 0 {
+	if !t.voteReady || t.voteWaiters.length() == 0 {
 		return
 	}
-	for addr, reqID := range t.voteWaiters {
+	for addr, reqID := range t.voteWaiters.take() {
 		r.sendVoteLocked(addr, reqID, t)
 	}
-	t.voteWaiters = make(map[transport.Addr]uint64)
 }
 
 // replyLoggedDecisionLocked answers a recovery request with the signed
@@ -316,6 +334,18 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 		return // not the logging shard for this transaction
 	}
 	r.Stats.ST2s.Add(1)
+	// Resurrection guard: an ST2 for a collected transaction gets the
+	// proven outcome (a certificate beats a logged decision; the client's
+	// recovery paths consume RPCert) instead of re-logging a decision into
+	// fresh state; below-watermark requests with no outcome are dropped.
+	switch rec, oc := r.lifecycleCheck(m.TxID, m.Meta.Timestamp); oc {
+	case lifecycleStale:
+		return
+	case lifecycleServed:
+		if r.serveFinalized(from, m.ReqID, rec) {
+			return
+		}
+	}
 	if !r.cfg.AllowUnvalidatedST2 && !r.decisionLoggedFor(m.TxID) {
 		if err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies); err != nil {
 			return
@@ -326,7 +356,7 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 	if t.meta == nil {
 		t.meta = m.Meta
 	}
-	t.interested[from] = m.ReqID
+	r.addWaiterLocked(&t.interested, from, m.ReqID)
 	if !t.decisionLogged && t.viewCurrent <= m.View {
 		t.decision = m.Decision
 		t.decisionLogged = true
@@ -337,6 +367,7 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 			t.mu.Unlock()
 			return
 		}
+		r.markLive(t)
 	}
 	r.replyLoggedDecisionST2Locked(from, m.ReqID, t)
 	t.mu.Unlock()
@@ -386,6 +417,20 @@ func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
 	if m.Decision != m.Cert.Decision {
 		return
 	}
+	// Resurrection guard: a writeback below the watermark for GC-truncated
+	// history is dropped; one whose outcome (with certificate) the store
+	// already proves is a pure duplicate — writebacks carry no reply, so
+	// there is nothing to re-serve and no state to rebuild. A finalized
+	// record still missing its certificate falls through: finalize attaches
+	// it and notifies anyone interested.
+	switch rec, oc := r.lifecycleCheck(m.TxID, m.Meta.Timestamp); oc {
+	case lifecycleStale:
+		return
+	case lifecycleServed:
+		if rec.Cert != nil {
+			return
+		}
+	}
 	if err := r.qv.VerifyDecisionCert(m.Cert, m.Meta); err != nil {
 		return
 	}
@@ -427,9 +472,11 @@ func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision
 	}
 	// Clients whose ST1 raced the writeback get their (derived) vote now.
 	r.flushVoteWaitersLocked(t)
-	interested := t.interested
-	t.interested = make(map[transport.Addr]uint64)
+	interested := t.interested.take()
 	t.mu.Unlock()
+	// Finalized states leave the checkpoint-capture index: the outcome is
+	// in the store section of every future snapshot.
+	r.unmarkLive(id)
 
 	var waiters []types.TxID
 	if changed || first {

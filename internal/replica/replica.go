@@ -14,7 +14,8 @@
 //
 //  1. txState.mu — one mutex per transaction guards its protocol state
 //     (vote, logged decision, views, ballots, waiters).
-//  2. Replica.mu — guards only the txs and depWaiters maps.
+//  2. Replica.mu — guards only the txs/live/depWaiters maps and the
+//     collect watermark.
 //  3. store locks — internal to the store (stripes plus a narrow global
 //     lock, see internal/store); store calls are leaves and may be made
 //     while holding txState.mu.
@@ -69,9 +70,11 @@ type Config struct {
 	// WALFlushDelay is the WAL group-commit window: concurrent appenders
 	// inside one window share a single fsync. 0 uses the wal default.
 	WALFlushDelay time.Duration
-	// CheckpointEvery, if positive (and DataDir is set), periodically
-	// garbage-collects below a clock-derived watermark (now − 2δ) and
-	// writes a checkpoint, bounding both log and memory growth.
+	// CheckpointEvery, if positive, periodically garbage-collects store
+	// history and finished replica protocol state below a clock-derived
+	// watermark (now − 2δ) and — when DataDir is set — writes a durable
+	// checkpoint, bounding log, store, and replica memory growth. Without
+	// DataDir only the in-memory collection runs.
 	CheckpointEvery time.Duration
 
 	// VerifyWorkers sizes the ingest worker pool that verifies signatures
@@ -122,6 +125,14 @@ type ByzantineStrategy interface {
 // txState is the replica's per-transaction protocol state beyond the
 // store's version bookkeeping. Each transaction has its own lock; handlers
 // for different transactions never contend on it.
+//
+// Lifecycle (see lifecycle.go): a state is active while the protocol can
+// still need it, finalized once a proven outcome landed, and collectable
+// once it sits below the checkpoint watermark with every waiter answered —
+// at which point the checkpoint pass removes it from Replica.txs. Late
+// duplicates for a collected transaction are answered from the store's
+// finalized table (Replica.lifecycleCheck), never by resurrecting votable
+// state.
 type txState struct {
 	mu sync.Mutex
 
@@ -142,8 +153,9 @@ type txState struct {
 	// Dependency waiting (Algorithm 1 line 15).
 	waitingOn  map[types.TxID]bool
 	depAborted bool
-	// Clients owed an ST1R once the vote resolves: client addr -> reqID.
-	voteWaiters map[transport.Addr]uint64
+	// Clients owed an ST1R once the vote resolves (bounded, evict-oldest;
+	// see waiterSet).
+	voteWaiters waiterSet
 
 	// Stage-2 logged decision (paper §4.2 stage 2 / §5 views).
 	decision       types.Decision
@@ -154,8 +166,9 @@ type txState struct {
 	// Fallback election state: ballots per view (leader role).
 	ballots map[uint64]map[int32]types.ElectFB
 
-	// Clients interested in this transaction's outcome (recovery).
-	interested map[transport.Addr]uint64
+	// Clients interested in this transaction's outcome (recovery;
+	// bounded, evict-oldest).
+	interested waiterSet
 
 	finalized bool
 }
@@ -175,6 +188,14 @@ type Stats struct {
 	DecFBs         atomic.Uint64
 	SigsSigned     atomic.Uint64
 	SigsVerified   atomic.Uint64
+	// TxCollected counts txStates reclaimed below the checkpoint
+	// watermark; WaiterEvictions counts per-transaction waiter entries
+	// displaced by the evict-oldest cap; StaleDrops counts below-watermark
+	// messages for unknown transactions dropped instead of re-run (the
+	// resurrection guard's third verdict).
+	TxCollected     atomic.Uint64
+	WaiterEvictions atomic.Uint64
+	StaleDrops      atomic.Uint64
 }
 
 // Replica is one Basil replica for one shard.
@@ -193,10 +214,20 @@ type Replica struct {
 	// tos slice for whole-shard broadcasts.
 	shardAddrs []transport.Addr
 
-	// mu guards only the two maps below; per-transaction state is behind
-	// each txState's own mutex.
+	// mu guards the maps below and collectWM; per-transaction state is
+	// behind each txState's own mutex.
 	mu  sync.Mutex
 	txs map[types.TxID]*txState
+	// live indexes the subset of txs holding an unfinalized durable
+	// promise (voteReady or decisionLogged) — exactly what checkpoint
+	// capture must persist, so appendTxSnapshot walks this instead of all
+	// of history. Maintained by markLive/unmarkLive at every promise flip
+	// and finalize.
+	live map[types.TxID]*txState
+	// collectWM is the highest watermark protocol state has been collected
+	// below (lifecycle.go): messages under it for unknown transactions are
+	// served from the store's finalized table or dropped, never re-run.
+	collectWM types.Timestamp
 	// depWaiters: transaction id -> ids of transactions whose vote waits
 	// on its decision.
 	depWaiters map[types.TxID][]types.TxID
@@ -270,6 +301,7 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 		store:      store.NewStriped(stripes),
 		pool:       cryptoutil.NewVerifyPool(cfg.VerifyWorkers),
 		txs:        make(map[types.TxID]*txState),
+		live:       make(map[types.TxID]*txState),
 		depWaiters: make(map[types.TxID][]types.TxID),
 		ckptStop:   make(chan struct{}),
 	}
@@ -303,7 +335,7 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 	}
 	// Register only after replay: no message may race the rebuild.
 	cfg.Net.Register(r.addr, r)
-	if r.wal != nil && cfg.CheckpointEvery > 0 {
+	if cfg.CheckpointEvery > 0 {
 		r.ckptWG.Add(1)
 		go r.checkpointLoop()
 	}
@@ -403,10 +435,8 @@ func (r *Replica) tx(id types.TxID) *txState {
 	t := r.txs[id]
 	if t == nil {
 		t = &txState{
-			id:          id,
-			waitingOn:   make(map[types.TxID]bool),
-			voteWaiters: make(map[transport.Addr]uint64),
-			interested:  make(map[transport.Addr]uint64),
+			id:        id,
+			waitingOn: make(map[types.TxID]bool),
 		}
 		r.txs[id] = t
 	}

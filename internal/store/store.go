@@ -621,6 +621,23 @@ func (s *Store) Tx(id types.TxID) (TxRecord, bool) {
 	return TxRecord{}, false
 }
 
+// FinalizedOutcome returns a snapshot of the record for id only when its
+// outcome is already decided (committed or aborted). This is the replica's
+// resurrection-guard query: a late duplicate ST1/ST2/writeback for a
+// transaction whose protocol state was collected at the checkpoint
+// watermark is answered from this table instead of recreating votable
+// protocol state. The second result is false for unknown or still-prepared
+// transactions, which must take the normal protocol path.
+func (s *Store) FinalizedOutcome(id types.TxID) (TxRecord, bool) {
+	s.global.RLock()
+	defer s.global.RUnlock()
+	rec := s.txLookup(id)
+	if rec == nil || (rec.Status != StatusCommitted && rec.Status != StatusAborted) {
+		return TxRecord{}, false
+	}
+	return *rec, true
+}
+
 // PreparedIDs returns the ids of every currently prepared transaction
 // (restart path: prepared entries without a durably logged vote are
 // withdrawn, since the vote they would justify was never promised).

@@ -30,6 +30,15 @@ func (r *rep) replyBeforeLog(t *txState) {
 	r.logDecisionLocked(t)
 }
 
+// resurrectionPromise is the resurrection-bug shape the lifecycle guards
+// against: a handler for a collected transaction rebuilds state and
+// marks it finalized with no append — the outcome it promises is not the
+// one on disk.
+func (r *rep) resurrectionPromise(t *txState) {
+	t.finalized = true // want BV002
+	r.signThen(nil, nil)
+}
+
 // --- negatives ---
 
 // promiseWithLog is the compliant onST1 shape: append, then flip, then
@@ -68,4 +77,16 @@ func (r *rep) replyInCallback(t *txState) {
 	}
 	t.voteReady = true
 	done()
+}
+
+// collectedDuplicateReply is the store-finalized re-serve path: a late
+// duplicate for a collected transaction is answered straight from the
+// store's finalized table. The reply externalizes an outcome a *past*
+// append already made durable, no promise flag flips here, so no log
+// call is required in this function.
+func (r *rep) collectedDuplicateReply(t *txState) {
+	if t.finalized {
+		return
+	}
+	r.signThen(nil, nil)
 }
