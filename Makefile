@@ -33,7 +33,7 @@ linkcheck:
 
 # Project invariants go vet cannot see — lock discipline, log-before-
 # externalize, error/goroutine hygiene, metrics tax and definition sites;
-# tools/basilvet fails on unjustified violations (codes BV000-BV006,
+# tools/basilvet fails on unjustified violations (codes BV000-BV007,
 # documented in ARCHITECTURE.md "Machine-checked invariants").
 invariant-check:
 	$(GO) run ./tools/basilvet ./internal/... ./basil ./cmd/...
@@ -52,7 +52,7 @@ test:
 # durability regressions are caught locally. Runs as part of `make check`.
 test-race:
 	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/ ./internal/quorum/ ./internal/benchharness/ ./internal/types/ ./internal/cryptoutil/
-	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica'
+	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica|TestOverloadSheds'
 
 # The transport and codec tests are required to pass under the race
 # detector (per-connection writer goroutines, reverse-route eviction).
@@ -65,12 +65,15 @@ race:
 # the WAL group-commit sweep (recorded to BENCH_wal.json — the fsync
 # amortization curve across appender counts and flush windows), the
 # checkpoint lifecycle ladder (recorded to BENCH_checkpoint.json —
-# steady-state checkpoint cost must stay flat as history grows), and the
-# wire-path benchmarks.
+# steady-state checkpoint cost must stay flat as history grows), the
+# admission overload scenario (recorded to BENCH_admission.json — honest
+# throughput under a line-rate spammer, unlimited vs bounded intake; see
+# internal/benchharness/admission.go), and the wire-path benchmarks.
 bench:
 	$(GO) test ./internal/store/ -run TestWriteParallelBench -parallelbench $(CURDIR)/BENCH_parallel.json -v -count=1
 	$(GO) test ./internal/wal/ -run TestWriteWALBench -walbench $(CURDIR)/BENCH_wal.json -v -count=1
 	$(GO) test ./internal/replica/ -run TestWriteCheckpointBench -checkpointbench $(CURDIR)/BENCH_checkpoint.json -v -count=1
+	$(GO) test ./internal/benchharness/ -run TestWriteAdmissionBench -admissionbench $(CURDIR)/BENCH_admission.json -v -count=1
 	GOMAXPROCS=4 $(GO) test ./internal/store/ -run xxx -bench 'BenchmarkPrepare' -benchtime=2000x
 	$(GO) test ./internal/wal/ -run xxx -bench BenchmarkWALAppend -benchtime=1000x
 	$(GO) test ./internal/types/ -run xxx -bench BenchmarkWireCodec

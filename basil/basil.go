@@ -119,6 +119,13 @@ type Options struct {
 	// Test/experiment use only: it models the paper's "equiv-forced"
 	// scenario where clients are artificially allowed to equivocate.
 	AllowUnvalidatedST2 bool
+	// DispatchQueue caps each replica's admitted-but-unprocessed message
+	// count: arrivals beyond it are shed with an explicit Overloaded reply
+	// instead of queueing without bound (see internal/replica/admission.go).
+	// 0 uses the replica default; negative disables admission control (the
+	// unbounded pre-admission behavior, kept as the overload-experiment
+	// baseline).
+	DispatchQueue int
 }
 
 func (o *Options) withDefaults() {
@@ -188,6 +195,15 @@ func NewCluster(opts Options) *Cluster {
 	if net == nil && !opts.TCPLoopback {
 		net = transport.NewLocal()
 		own = true
+		if q := opts.DispatchQueue; q >= 0 {
+			if q == 0 {
+				q = 1024 // mirrors the replica's default admission cap
+			}
+			// Bound the replica mailboxes too, with headroom above the
+			// admission cap so floods are shed with an Overloaded reply by
+			// admission rather than dropped silently at the mailbox.
+			net.SetReplicaQueueCap(4 * q)
+		}
 	}
 	reg := cryptoutil.NewRegistry(schemeOf(opts), opts.Shards*n, opts.Seed)
 	signerOf := func(shard, idx int32) int32 { return shard*int32(n) + idx }
@@ -233,6 +249,7 @@ func (c *Cluster) replicaConfig(s, i int32, nodeNet transport.Network) replica.C
 		WALFlushDelay:       c.opts.WALFlushDelay,
 		CheckpointEvery:     c.opts.CheckpointEvery,
 		AllowUnvalidatedST2: c.opts.AllowUnvalidatedST2,
+		DispatchQueue:       c.opts.DispatchQueue,
 	}
 	if c.opts.ReplicaByzantine != nil {
 		cfg.Byzantine = c.opts.ReplicaByzantine(s, i)

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, admission, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -122,6 +122,11 @@ func main() {
 	if run("metrics") {
 		any = true
 		t := benchharness.FigMetrics(scale)
+		t.Render(out)
+	}
+	if run("admission") {
+		any = true
+		t := benchharness.FigAdmission(scale)
 		t.Render(out)
 	}
 	if !any {

@@ -48,6 +48,9 @@ func main() {
 	walWindow := flag.Duration("wal-window", 0, "WAL group-commit window; concurrent prepares within it share one fsync (0 = default 200µs)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint cadence with -data-dir: GC below a clock-derived watermark and snapshot, bounding log and memory growth (0 = never)")
 	adminAddr := flag.String("admin-addr", "", "admin HTTP listen address serving /metrics (Prometheus), /stats (JSON) and /healthz (empty = no admin endpoint)")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrent inbound TCP connections; further accepts are closed immediately (0 = unlimited)")
+	inflight := flag.Int("inflight", 0, "global cap on frames queued across all outbound connections; beyond it sends drop and count in basil_net_frames_dropped_overflow_total (0 = unlimited)")
+	dispatchQueue := flag.Int("dispatch-queue", 0, "replica admission cap: messages admitted but not yet processed; arrivals beyond it get an explicit Overloaded{RetryAfter} reply (0 = default 1024, negative = admission disabled)")
 	flag.Parse()
 
 	shard, index, err := parseReplica(*which)
@@ -60,7 +63,12 @@ func main() {
 	}
 
 	mreg := metrics.NewRegistry()
-	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{MaxFrame: *maxFrame, Metrics: mreg})
+	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{
+		MaxFrame:    *maxFrame,
+		Metrics:     mreg,
+		MaxConns:    *maxConns,
+		MaxInflight: *inflight,
+	})
 	if err != nil {
 		log.Fatalf("transport: %v", err)
 	}
@@ -83,6 +91,7 @@ func main() {
 		SignerOf:        signerOf,
 		Net:             net,
 		Metrics:         mreg,
+		DispatchQueue:   *dispatchQueue,
 	}, *dataDir)
 	if err != nil {
 		log.Fatalf("restore %s: %v", *dataDir, err)

@@ -1,0 +1,124 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestRetryDelayBounds pins the pacing contract: jitter stays within
+// [d/2, 3d/2), growth is capped, the server hint floors the delay, and a
+// Byzantine hint cannot push it past maxRetryHint.
+func TestRetryDelayBounds(t *testing.T) {
+	c := &Client{rng: rand.New(rand.NewSource(1))}
+	for attempt := 0; attempt < 12; attempt++ {
+		want := baseRetryDelay << attempt
+		if want > maxRetryDelay || want <= 0 {
+			want = maxRetryDelay
+		}
+		for i := 0; i < 100; i++ {
+			d := c.retryDelay(attempt, 0)
+			if d < want/2 || d >= want+want/2 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, want/2, want+want/2)
+			}
+		}
+	}
+	// The hint floors the backoff...
+	hint := 50 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		if d := c.retryDelay(0, hint); d < hint/2 {
+			t.Fatalf("hinted delay %v below %v", d, hint/2)
+		}
+	}
+	// ...but an adversarial hint is clamped.
+	for i := 0; i < 100; i++ {
+		if d := c.retryDelay(0, time.Hour); d >= maxRetryHint+maxRetryHint/2 {
+			t.Fatalf("forged hint produced %v", d)
+		}
+	}
+}
+
+// TestPrepareBackoffBoundsAttempts is the tight-loop regression test: a
+// shard whose replicas answer every ST1 with Overloaded must see a
+// *bounded* resend rate — jittered exponential backoff — not a reqs/µs
+// hammer, and the client must surface ErrTimeout once its deadline is
+// spent rather than hanging.
+func TestPrepareBackoffBoundsAttempts(t *testing.T) {
+	net := transport.NewLocal()
+	defer net.Close()
+	reg := cryptoutil.NewRegistry(cryptoutil.SchemeNone, 6, 1)
+
+	var st1Count atomic.Int64
+	for i := int32(0); i < 6; i++ {
+		ra, idx := transport.ReplicaAddr(0, i), i
+		net.Register(ra, transport.HandlerFunc(func(from transport.Addr, msg any) {
+			if m, ok := msg.(*types.ST1Request); ok {
+				st1Count.Add(1)
+				net.Send(ra, from, &types.Overloaded{
+					ReqID: m.ReqID, ShardID: 0, ReplicaID: idx, RetryAfterMicros: 2_000,
+				})
+			}
+		}))
+	}
+
+	c := New(Config{
+		ID: 1, F: 1, NumShards: 1,
+		ShardOf:      func(string) int32 { return 0 },
+		Registry:     reg,
+		SignerOf:     func(s, i int32) int32 { return i },
+		Net:          net,
+		PhaseTimeout: 50 * time.Millisecond,
+		RetryTimeout: 400 * time.Millisecond,
+	})
+
+	tx := c.Begin()
+	tx.Write("k", []byte("v"))
+	start := time.Now()
+	err := tx.Commit()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("commit against a refusing shard: %v, want ErrTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("commit hung %v past its 400ms deadline", elapsed)
+	}
+	if c.Stats.Overloads.Load() == 0 {
+		t.Fatal("no Overloaded reply recorded")
+	}
+
+	n := st1Count.Load()
+	// 6 replicas per broadcast; the initial broadcast plus at least one
+	// backoff resend proves the retry path fired.
+	if n < 12 {
+		t.Fatalf("only %d ST1s seen; overload resend never happened", n)
+	}
+	// Bounded: backoff spacing (2,4,8,...ms jittered) plus one resend per
+	// 50ms phase tick admits a few dozen broadcasts in 400ms. A tight
+	// loop would send thousands.
+	if n > 6*40 {
+		t.Fatalf("%d ST1s in 400ms: resends are not backing off", n)
+	}
+}
+
+// TestOverloadedRoutesToPendingRequest: Deliver must route Overloaded by
+// ReqID like any other reply so the waiting collect loop sees it.
+func TestOverloadedRoutesToPendingRequest(t *testing.T) {
+	c := &Client{pending: make(map[uint64]chan any)}
+	id, ch := uint64(7), make(chan any, 1)
+	c.pending[id] = ch
+	c.Deliver(transport.ReplicaAddr(0, 0), &types.Overloaded{ReqID: id, RetryAfterMicros: 99})
+	select {
+	case m := <-ch:
+		if ov, ok := m.(*types.Overloaded); !ok || ov.RetryAfterMicros != 99 {
+			t.Fatalf("routed %#v", m)
+		}
+	default:
+		t.Fatal("Overloaded not routed to its pending request")
+	}
+}

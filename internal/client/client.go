@@ -13,6 +13,7 @@ package client
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,6 +91,9 @@ type Stats struct {
 	Recoveries     atomic.Uint64
 	FallbackRounds atomic.Uint64
 	ReadRetries    atomic.Uint64
+	// Overloads counts explicit load-shed (types.Overloaded) replies; the
+	// client answers them with jittered backoff (backoff.go).
+	Overloads atomic.Uint64
 }
 
 // Client is a Basil client. It is safe for use by one goroutine at a time
@@ -108,6 +112,11 @@ type Client struct {
 	pending map[uint64]chan any
 	// recent recovery attempts, for deduplication.
 	recovered map[types.TxID]time.Time
+
+	// Retry pacing state (backoff.go); both are touched only from the
+	// client's own goroutine, per the one-goroutine-per-Client contract.
+	rng       *rand.Rand
+	retryHint time.Duration
 
 	Stats Stats
 
@@ -167,6 +176,9 @@ func New(cfg Config) *Client {
 		sv:        cryptoutil.NewSigVerifier(cfg.Registry, 4096),
 		pending:   make(map[uint64]chan any),
 		recovered: make(map[types.TxID]time.Time),
+		// Deterministic per-client seed: distinct clients jitter apart,
+		// and a test run's pacing is reproducible.
+		rng: rand.New(rand.NewSource(int64(cfg.ID)*2654435761 + 1)),
 	}
 	c.qv = &quorum.Verifier{Cfg: c.qc, Sigs: c.sv, SignerOf: cfg.SignerOf, Pool: cfg.VerifyPool}
 	reg := cfg.Metrics
@@ -194,6 +206,8 @@ func (c *Client) Deliver(_ transport.Addr, msg any) {
 	case *types.ST1Reply:
 		reqID = m.ReqID
 	case *types.ST2Reply:
+		reqID = m.ReqID
+	case *types.Overloaded:
 		reqID = m.ReqID
 	default:
 		return

@@ -60,7 +60,7 @@ func (c *Client) CommitFaulty(t *Txn, mode FaultMode) bool {
 
 	// Gather votes like a correct client would.
 	tallies := newTallies(meta.Shards)
-	res, err := c.collectVotes(id, tallies, ch, time.Now().Add(c.cfg.RetryTimeout), meta, t.depMetas)
+	res, err := c.collectVotes(id, tallies, ch, time.Now().Add(c.cfg.RetryTimeout), meta, t.depMetas, nil)
 	if err != nil {
 		return false
 	}

@@ -166,7 +166,16 @@ func (c *Client) runPrepare(meta *types.TxMeta, depMetas map[types.TxID]*types.T
 	}
 
 	tallies := newTallies(meta.Shards)
-	res, err := c.collectVotes(id, tallies, ch, deadline, meta, depMetas)
+	resend := func() {
+		// Rebroadcast only to shards that can still improve: settled
+		// tallies owe us nothing, and re-asking them is pure load.
+		for _, s := range meta.Shards {
+			if !tallies[s].settled(c.qc) {
+				c.broadcastShard(s, st1)
+			}
+		}
+	}
+	res, err := c.collectVotes(id, tallies, ch, deadline, meta, depMetas, resend)
 	if err != nil {
 		return types.DecisionNone, err
 	}
@@ -220,11 +229,15 @@ func (c *Client) recoverBlockers(tallies map[int32]*shardTally) {
 }
 
 // collectVotes gathers ST1 replies until every shard settles. On phase
-// timeouts it recovers stalled dependencies and keeps waiting (replicas
-// queue our vote request and answer once their dependency wait resolves).
+// timeouts it recovers stalled dependencies, rebroadcasts to unsettled
+// shards and keeps waiting (replicas queue our vote request and answer
+// once their dependency wait resolves). Overloaded shed replies schedule
+// a jittered backoff resend instead of waiting out the phase timer.
 func (c *Client) collectVotes(id types.TxID, tallies map[int32]*shardTally, ch chan any,
-	deadline time.Time, meta *types.TxMeta, depMetas map[types.TxID]*types.TxMeta) (prepareResult, error) {
+	deadline time.Time, meta *types.TxMeta, depMetas map[types.TxID]*types.TxMeta, resend func()) (prepareResult, error) {
 
+	retry := newOverloadRetry(c, resend)
+	defer retry.stop()
 	recovered := false
 	var fastTimer *time.Timer
 	var fastC <-chan time.Time
@@ -269,9 +282,16 @@ func (c *Client) collectVotes(id types.TxID, tallies map[int32]*shardTally, ch c
 		}
 		select {
 		case m := <-ch:
-			if r, ok := m.(*types.ST1Reply); ok && r.RPKind != types.RPCert && r.ST2R == nil {
-				c.acceptST1Reply(id, tallies, r)
+			switch r := m.(type) {
+			case *types.ST1Reply:
+				if r.RPKind != types.RPCert && r.ST2R == nil {
+					c.acceptST1Reply(id, tallies, r)
+				}
+			case *types.Overloaded:
+				retry.note(r)
 			}
+		case <-retry.C:
+			retry.fire()
 		case <-fastC:
 			fastExpired = true
 			fastC = nil
@@ -287,6 +307,9 @@ func (c *Client) collectVotes(id types.TxID, tallies map[int32]*shardTally, ch c
 					// deferring our vote (paper §5).
 					_, _, _ = c.FinishTransaction(dm)
 				}
+			}
+			if resend != nil {
+				resend() // replies may have been shed silently at the hard cap
 			}
 			phase.Reset(c.cfg.PhaseTimeout)
 		}
@@ -342,7 +365,8 @@ func (c *Client) logDecision(meta *types.TxMeta, id types.TxID, res prepareResul
 		Decision: res.decision, Tallies: tallies, View: view,
 	}
 	c.broadcastShard(meta.LogShard(), st2)
-	st2rs, err := c.collectST2(id, meta.LogShard(), res.decision, ch)
+	st2rs, err := c.collectST2(id, meta.LogShard(), res.decision, ch,
+		func() { c.broadcastShard(meta.LogShard(), st2) })
 	if err != nil {
 		return nil, err
 	}
@@ -365,15 +389,25 @@ func (c *Client) logDecision(meta *types.TxMeta, id types.TxID, res prepareResul
 // shard but logShard are rejected — signatures bind a reply to its own
 // shard's replica, not to the shard this request logged on (same
 // cross-shard confusion as the read path).
-func (c *Client) collectST2(id types.TxID, logShard int32, want types.Decision, ch chan any) ([]types.ST2Reply, error) {
+func (c *Client) collectST2(id types.TxID, logShard int32, want types.Decision, ch chan any,
+	resend func()) ([]types.ST2Reply, error) {
 	byKey := make(map[uint64][]types.ST2Reply) // viewDecision -> replies
 	seen := make(map[int32]bool)
 	mismatch := false
+	retry := newOverloadRetry(c, resend)
+	defer retry.stop()
 	deadline := time.NewTimer(c.cfg.PhaseTimeout)
 	defer deadline.Stop()
 	for {
 		select {
+		case <-retry.C:
+			retry.fire()
+			continue
 		case m := <-ch:
+			if ov, isOv := m.(*types.Overloaded); isOv {
+				retry.note(ov)
+				continue
+			}
 			r, ok := m.(*types.ST2Reply)
 			if !ok {
 				// ST1Reply stragglers from stage 1 reuse the channel space;

@@ -31,7 +31,14 @@ func (c *Client) FinishTransaction(meta *types.TxMeta) (types.Decision, *types.D
 	st2rs := make(map[int32]types.ST2Reply) // logging-shard replica -> latest signed view
 	divergent := false
 
-	dec, cert, done := c.collectRecovery(id, meta, ch, tallies, st2rs, &divergent)
+	rpResend := func() {
+		for _, s := range meta.Shards {
+			if !tallies[s].settled(c.qc) {
+				c.broadcastShard(s, rp)
+			}
+		}
+	}
+	dec, cert, done := c.collectRecovery(id, meta, ch, tallies, st2rs, &divergent, rpResend)
 	c.endRequest(reqID)
 	if done {
 		c.writeback(meta, dec, cert)
@@ -62,6 +69,12 @@ func (c *Client) FinishTransaction(meta *types.TxMeta) (types.Decision, *types.D
 		lastRes = &res
 	}
 	for round := 0; round < c.qc.N()+2; round++ {
+		if round > 0 || c.retryHint > 0 {
+			// Pace the rounds: jittered backoff, floored at any RetryAfter
+			// hint an overloaded logging replica handed us. Back-to-back
+			// rounds against a saturated shard only feed the overload.
+			time.Sleep(c.retryDelay(round, c.takeRetryAfter()))
+		}
 		if time.Now().After(deadline) {
 			return types.DecisionNone, nil, ErrTimeout
 		}
@@ -81,7 +94,8 @@ func (c *Client) FinishTransaction(meta *types.TxMeta) (types.Decision, *types.D
 		}
 		c.broadcastShard(meta.LogShard(), inv)
 
-		dec, cert, done := c.collectFallback(id, meta, ch, st2rs)
+		dec, cert, done := c.collectFallback(id, meta, ch, st2rs,
+			func() { c.broadcastShard(meta.LogShard(), inv) })
 		c.endRequest(reqID)
 		if done {
 			c.writeback(meta, dec, cert)
@@ -95,8 +109,11 @@ func (c *Client) FinishTransaction(meta *types.TxMeta) (types.Decision, *types.D
 // and certificate when the transaction can be finished immediately (a
 // certificate surfaced, or n-f matching logged decisions exist).
 func (c *Client) collectRecovery(id types.TxID, meta *types.TxMeta, ch chan any,
-	tallies map[int32]*shardTally, st2rs map[int32]types.ST2Reply, divergent *bool) (types.Decision, *types.DecisionCert, bool) {
+	tallies map[int32]*shardTally, st2rs map[int32]types.ST2Reply, divergent *bool,
+	resend func()) (types.Decision, *types.DecisionCert, bool) {
 
+	retry := newOverloadRetry(c, resend)
+	defer retry.stop()
 	deadline := time.NewTimer(c.cfg.PhaseTimeout)
 	defer deadline.Stop()
 	matching := make(map[uint64]map[int32]types.ST2Reply) // viewDecision -> replica -> reply
@@ -137,8 +154,13 @@ func (c *Client) collectRecovery(id types.TxID, meta *types.TxMeta, ch chan any,
 
 	for {
 		select {
+		case <-retry.C:
+			retry.fire()
 		case m := <-ch:
 			switch r := m.(type) {
+			case *types.Overloaded:
+				retry.note(r)
+				continue
 			case *types.ST1Reply:
 				switch r.RPKind {
 				case types.RPCert:
@@ -216,8 +238,10 @@ func (c *Client) noteST2R(r types.ST2Reply, st2rs map[int32]types.ST2Reply,
 // logging-shard certificate from n-f replies matching in decision and
 // decision view.
 func (c *Client) collectFallback(id types.TxID, meta *types.TxMeta, ch chan any,
-	st2rs map[int32]types.ST2Reply) (types.Decision, *types.DecisionCert, bool) {
+	st2rs map[int32]types.ST2Reply, resend func()) (types.Decision, *types.DecisionCert, bool) {
 
+	retry := newOverloadRetry(c, resend)
+	defer retry.stop()
 	deadline := time.NewTimer(c.cfg.PhaseTimeout)
 	defer deadline.Stop()
 	type key struct {
@@ -227,7 +251,13 @@ func (c *Client) collectFallback(id types.TxID, meta *types.TxMeta, ch chan any,
 	groups := make(map[key]map[int32]types.ST2Reply)
 	for {
 		select {
+		case <-retry.C:
+			retry.fire()
 		case m := <-ch:
+			if ov, isOv := m.(*types.Overloaded); isOv {
+				retry.note(ov)
+				continue
+			}
 			r, ok := m.(*types.ST2Reply)
 			if !ok {
 				if s1, isS1 := m.(*types.ST1Reply); isS1 && s1.RPKind == types.RPCert &&

@@ -123,6 +123,9 @@ func (t *Txn) Read(key string) ([]byte, error) {
 			return nil, ErrTimeout
 		}
 		c.Stats.ReadRetries.Add(1)
+		// Jittered backoff before the retry, floored at any RetryAfter an
+		// overloaded replica handed us — never a tight resend loop.
+		time.Sleep(c.retryDelay(attempt-1, c.takeRetryAfter()))
 	}
 }
 
@@ -148,6 +151,12 @@ func (t *Txn) collectRead(key string, shard int32, reqID uint64, ch chan any) ([
 	for {
 		select {
 		case m := <-ch:
+			if ov, isOv := m.(*types.Overloaded); isOv {
+				// Shed: count it and keep the pacing hint for the retry in
+				// Read's attempt loop (no resend from inside one attempt).
+				c.noteOverloaded(ov)
+				continue
+			}
 			rr, ok := m.(*types.ReadReply)
 			if !ok || rr.Key != key || seen[rr.ReplicaID] {
 				continue

@@ -255,8 +255,26 @@ func (r *Replica) collectBelow(wm types.Timestamp) int {
 		st := r.store.TxStatusOf(t.id)
 		t.mu.Lock()
 		if t.phaseLocked(wm, st) != txCollectable {
+			// Prepared-but-undecided below the watermark stays resident
+			// (its write still aborts future readers, so the state must
+			// survive GC) — but the owner had 2δ to finish and did not:
+			// the canonical dependency-hostage pattern. Charge the
+			// abandonment now, once, without collecting; recovery can
+			// still resolve the transaction later.
+			if st == store.StatusPrepared && t.voteReady && !t.finalized &&
+				t.vote == types.VoteCommit && t.meta != nil &&
+				t.meta.Timestamp.Less(wm) && !t.abandonCharged {
+				t.abandonCharged = true
+				r.adm.noteAbandoned(t.meta.Timestamp.ClientID)
+			}
 			t.mu.Unlock()
 			continue
+		}
+		if t.voteReady && !t.finalized && t.vote == types.VoteCommit && t.meta != nil && !t.abandonCharged {
+			// Prepared here, never finished anywhere we can see: the owner
+			// abandoned it past the watermark (held locks hostage until GC).
+			t.abandonCharged = true
+			r.adm.noteAbandoned(t.meta.Timestamp.ClientID)
 		}
 		r.flushVoteWaitersLocked(t) // answers iff the vote resolved
 		t.voteWaiters.take()

@@ -78,6 +78,20 @@ func (r *Replica) initMetrics(reg *metrics.Registry) {
 	reg.BindCounter("basil_replica_waiters_evicted_total", &r.Stats.WaiterEvictions)
 	reg.BindCounter("basil_replica_stale_drops_total", &r.Stats.StaleDrops)
 
+	// Admission queue (admission.go): occupancy against its cap, and how
+	// much arriving work is being shed — the overload alerting pair
+	// (docs/operations.md). The capacity gauge is 0 when admission is
+	// disabled (DispatchQueue < 0).
+	reg.BindGaugeFunc("basil_replica_dispatch_depth", func() int64 { return r.adm.depth() })
+	reg.BindGaugeFunc("basil_replica_dispatch_capacity", func() int64 {
+		if r.adm.cap > 0 {
+			return r.adm.cap
+		}
+		return 0
+	})
+	reg.BindCounter("basil_replica_shed_total", &r.Stats.Shed)
+	reg.BindCounter("basil_replica_shed_reputation_total", &r.Stats.ShedReputation)
+
 	// Deliver latency by message kind (handler run time on the pool).
 	for k := 0; k < kindCount; k++ {
 		r.mx.deliver[k] = reg.Histogram("basil_replica_deliver_latency_seconds", "kind", kindNames[k])

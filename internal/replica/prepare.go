@@ -25,11 +25,18 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 	// neither rebuilds votable state.
 	switch rec, oc := r.lifecycleCheck(id, m.Meta.Timestamp); oc {
 	case lifecycleStale:
+		r.adm.noteStale(m.ClientID)
 		return
 	case lifecycleServed:
 		if r.serveFinalized(from, m.ReqID, rec) {
 			return
 		}
+	}
+
+	if m.Recovery && m.ClientID != m.Meta.Timestamp.ClientID {
+		// Someone other than the owner is recovering this transaction: the
+		// owner left it hanging. Reputation signal, not the recoverer's.
+		r.adm.noteRecovery(m.Meta.Timestamp.ClientID)
 	}
 
 	t := r.tx(id)
@@ -258,6 +265,9 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 		r.Stats.VotesCommit.Add(1)
 	} else {
 		r.Stats.VotesAbort.Add(1)
+		if t.meta != nil {
+			r.adm.noteAbortVote(t.meta.Timestamp.ClientID)
+		}
 	}
 }
 
@@ -340,6 +350,7 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 	// fresh state; below-watermark requests with no outcome are dropped.
 	switch rec, oc := r.lifecycleCheck(m.TxID, m.Meta.Timestamp); oc {
 	case lifecycleStale:
+		r.adm.noteStale(m.ClientID)
 		return
 	case lifecycleServed:
 		if r.serveFinalized(from, m.ReqID, rec) {
@@ -477,6 +488,9 @@ func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision
 	// Finalized states leave the checkpoint-capture index: the outcome is
 	// in the store section of every future snapshot.
 	r.unmarkLive(id)
+	if first && dec == types.DecisionCommit && meta != nil {
+		r.adm.noteCommitted(meta.Timestamp.ClientID)
+	}
 
 	var waiters []types.TxID
 	if changed || first {

@@ -81,6 +81,15 @@ type Config struct {
 	// and runs message handlers concurrently. 0 defaults to GOMAXPROCS;
 	// 1 reproduces the old serial message loop.
 	VerifyWorkers int
+	// DispatchQueue bounds the admission queue in front of the worker
+	// pool: at most this many delivered messages may be in flight
+	// (queued or executing); arrivals beyond it are shed with an explicit
+	// types.Overloaded reply instead of growing memory or silently
+	// stalling the transport (see admission.go). 0 uses the default
+	// (defaultDispatchQueue); negative disables admission entirely —
+	// unlimited intake, the pre-admission behavior benchmarks compare
+	// against.
+	DispatchQueue int
 	// Stripes is the store's per-key lock-stripe count. 0 defaults to
 	// store.DefaultStripes; 1 degenerates to a single key lock (the
 	// pre-striping baseline the parallel experiment compares against).
@@ -170,6 +179,11 @@ type txState struct {
 	// bounded, evict-oldest).
 	interested waiterSet
 
+	// abandonCharged: the owner was already charged (reputation feed)
+	// for leaving this transaction prepared past the watermark; repeated
+	// collection passes over a retained state must not charge twice.
+	abandonCharged bool
+
 	finalized bool
 }
 
@@ -196,6 +210,10 @@ type Stats struct {
 	TxCollected     atomic.Uint64
 	WaiterEvictions atomic.Uint64
 	StaleDrops      atomic.Uint64
+	// Shed counts messages refused by the admission queue (admission.go);
+	// ShedReputation is the subset refused early for a bad client score.
+	Shed           atomic.Uint64
+	ShedReputation atomic.Uint64
 }
 
 // Replica is one Basil replica for one shard.
@@ -209,6 +227,9 @@ type Replica struct {
 	qv      *quorum.Verifier
 	store   *store.Store
 	pool    *cryptoutil.VerifyPool
+	// adm is the bounded admission queue and per-client reputation table
+	// in front of the pool (admission.go).
+	adm *admission
 
 	// shardAddrs is the static membership of this replica's shard, the
 	// tos slice for whole-shard broadcasts.
@@ -306,6 +327,7 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 		ckptStop:   make(chan struct{}),
 	}
 	r.shardAddrs = transport.ShardAddrs(cfg.Shard, r.qc.N())
+	r.adm = newAdmission(r, cfg.DispatchQueue)
 	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
 	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf, Pool: r.pool}
 	reg := cfg.Metrics
@@ -372,18 +394,28 @@ func (r *Replica) LoadGenesis(key string, value []byte) {
 	r.store.ApplyGenesis(key, value)
 }
 
-// Deliver implements transport.Handler: each message is dispatched onto
-// the worker pool, so crypto-heavy validation and disjoint-key store
-// operations from different messages proceed in parallel. Per-sender FIFO
-// is deliberately not preserved — the protocol already tolerates an
-// asynchronous, reordering network.
+// Deliver implements transport.Handler: each message passes the bounded
+// admission queue (admission.go) and is dispatched onto the worker pool,
+// so crypto-heavy validation and disjoint-key store operations from
+// different messages proceed in parallel. Over-capacity arrivals are shed
+// with an explicit Overloaded reply instead of queuing without bound.
+// Per-sender FIFO is deliberately not preserved — the protocol already
+// tolerates an asynchronous, reordering network.
 func (r *Replica) Deliver(from transport.Addr, msg any) {
 	if r.closed.Load() || r.walFailed.Load() {
 		// A replica that cannot make its promises durable stops making
 		// promises: fail-stop, never fail-equivocate.
 		return
 	}
-	r.pool.Go(func() { r.dispatch(from, msg) })
+	if !r.adm.admit(from, msg) {
+		return
+	}
+	if !r.pool.Go(func() {
+		defer r.adm.release()
+		r.dispatch(from, msg)
+	}) {
+		r.adm.release() // pool closed under us; the slot must not leak
+	}
 }
 
 // dispatch routes one message to its handler on a pool worker, timing

@@ -19,8 +19,13 @@ type Local struct {
 	mu     sync.RWMutex
 	nodes  map[Addr]*localNode
 	policy LinkPolicy
-	closed bool
-	wg     sync.WaitGroup
+	// replicaCap bounds the mailbox of replica-role nodes registered after
+	// it is set (0 = unbounded, the default). Client mailboxes stay
+	// unbounded: a client only ever receives replies to requests it has in
+	// flight, which the client itself bounds.
+	replicaCap int
+	closed     bool
+	wg         sync.WaitGroup
 }
 
 type localNode struct {
@@ -40,14 +45,28 @@ func (l *Local) SetPolicy(p LinkPolicy) {
 	l.mu.Unlock()
 }
 
+// SetReplicaQueueCap bounds the mailbox of replica nodes registered from
+// now on: pushes beyond cap envelopes are dropped instead of growing the
+// queue, mirroring the TCP transport's bounded intake. 0 restores the
+// unbounded default for subsequent registrations.
+func (l *Local) SetReplicaQueueCap(cap int) {
+	l.mu.Lock()
+	l.replicaCap = cap
+	l.mu.Unlock()
+}
+
 // Register implements Network. Re-registering an address replaces the
 // previous node (a restarted replica takes over its own address); the
 // old node's mailbox is closed so its dispatcher exits and messages
 // still queued for the dead incarnation are dropped, exactly as a real
 // network drops packets to a crashed process.
 func (l *Local) Register(addr Addr, h Handler) {
-	n := &localNode{box: newMailbox(), h: h}
 	l.mu.Lock()
+	cap := 0
+	if addr.Role == RoleReplica {
+		cap = l.replicaCap
+	}
+	n := &localNode{box: newBoundedMailbox(cap), h: h}
 	if l.closed {
 		l.mu.Unlock()
 		return
@@ -73,25 +92,32 @@ func (l *Local) Register(addr Addr, h Handler) {
 
 // Send implements Network.
 func (l *Local) Send(from, to Addr, msg any) {
+	l.send(from, to, msg)
+}
+
+// send is Send reporting whether the message was queued (or scheduled for
+// delayed delivery; a delayed push that later finds the mailbox full is
+// indistinguishable from a link drop).
+func (l *Local) send(from, to Addr, msg any) bool {
 	l.mu.RLock()
 	node := l.nodes[to]
 	policy := l.policy
 	closed := l.closed
 	l.mu.RUnlock()
 	if node == nil || closed {
-		return
+		return false
 	}
 	if policy != nil {
 		delay, drop := policy(from, to, msg)
 		if drop {
-			return
+			return false
 		}
 		if delay > 0 {
 			time.AfterFunc(delay, func() { node.box.push(envelope{from: from, msg: msg}) })
-			return
+			return true
 		}
 	}
-	node.box.push(envelope{from: from, msg: msg})
+	return node.box.push(envelope{from: from, msg: msg})
 }
 
 // SendAll implements Network. In-process delivery has no serialization to
@@ -99,10 +125,14 @@ func (l *Local) Send(from, to Addr, msg any) {
 // LinkPolicy is consulted for every (from, to) pair individually, keeping
 // fault injection (per-link drops, delays, partitions) byte-identical
 // between a broadcast and a loop of unicasts.
-func (l *Local) SendAll(from Addr, tos []Addr, msg any) {
+func (l *Local) SendAll(from Addr, tos []Addr, msg any) int {
+	sent := 0
 	for _, to := range tos {
-		l.Send(from, to, msg)
+		if l.send(from, to, msg) {
+			sent++
+		}
 	}
+	return sent
 }
 
 // Close implements Network. It stops all dispatchers and waits for them.

@@ -3,10 +3,12 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -68,8 +70,20 @@ type TCP struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// inbound counts currently-open accepted connections, enforced against
+	// TCPOptions.MaxConns in acceptLoop. Guarded by mu.
+	inbound int
+	// inflight counts frames queued across every connection's out channel
+	// (reserved in enqueue, released when the writer dequeues or a dead
+	// connection's queue is drained), enforced against MaxInflight.
+	inflight atomic.Int64
+
 	// Wire counters (nil-safe no-ops unless TCPOptions.Metrics was set).
 	mx tcpMetrics
+	// reg backs the dynamic per-peer counters in dialDropMetrics; nil when
+	// instrumentation is off. dialDrops is guarded by mu.
+	reg       *metrics.Registry
+	dialDrops map[string]*metrics.Counter
 }
 
 // tcpMetrics are the transport's instrument handles; see TCPOptions.Metrics.
@@ -79,6 +93,13 @@ type tcpMetrics struct {
 	dials, dialFails    *metrics.Counter
 	backoffDrops        *metrics.Counter
 	broadcasts, fanout  *metrics.Counter
+	// overflowDrops counts frames shed by the bounded intake: a per-conn
+	// pending-byte budget or the global inflight cap was exceeded.
+	overflowDrops *metrics.Counter
+	// connsRejected counts inbound connections refused by MaxConns.
+	connsRejected *metrics.Counter
+	// acceptRetries counts transient Accept errors survived by acceptLoop.
+	acceptRetries *metrics.Counter
 }
 
 // initTCPMetrics registers the wire counters. reg may be nil (off).
@@ -87,16 +108,36 @@ func initTCPMetrics(reg *metrics.Registry) tcpMetrics {
 		reg = metrics.Nop
 	}
 	return tcpMetrics{
-		framesOut:    reg.Counter("basil_net_frames_total", "dir", "out"),
-		bytesOut:     reg.Counter("basil_net_bytes_total", "dir", "out"),
-		framesIn:     reg.Counter("basil_net_frames_total", "dir", "in"),
-		bytesIn:      reg.Counter("basil_net_bytes_total", "dir", "in"),
-		dials:        reg.Counter("basil_net_dials_total"),
-		dialFails:    reg.Counter("basil_net_dial_failures_total"),
-		backoffDrops: reg.Counter("basil_net_backoff_drops_total"),
-		broadcasts:   reg.Counter("basil_net_broadcasts_total"),
-		fanout:       reg.Counter("basil_net_broadcast_dests_total"),
+		framesOut:     reg.Counter("basil_net_frames_total", "dir", "out"),
+		bytesOut:      reg.Counter("basil_net_bytes_total", "dir", "out"),
+		framesIn:      reg.Counter("basil_net_frames_total", "dir", "in"),
+		bytesIn:       reg.Counter("basil_net_bytes_total", "dir", "in"),
+		dials:         reg.Counter("basil_net_dials_total"),
+		dialFails:     reg.Counter("basil_net_dial_failures_total"),
+		backoffDrops:  reg.Counter("basil_net_backoff_drops_total"),
+		broadcasts:    reg.Counter("basil_net_broadcasts_total"),
+		fanout:        reg.Counter("basil_net_broadcast_dests_total"),
+		overflowDrops: reg.Counter("basil_net_frames_dropped_overflow_total"),
+		connsRejected: reg.Counter("basil_net_conns_rejected_total"),
+		acceptRetries: reg.Counter("basil_net_accept_retries_total"),
 	}
+}
+
+// dialDropMetrics returns the per-peer frames_dropped_dialing counter for
+// hostport, registering it on first use. Frames dropped while a background
+// dial is pending used to vanish without a trace; the per-peer family makes
+// "this replica's broadcasts silently miss that host" visible. Caller must
+// hold t.mu. Nil (a no-op counter) when instrumentation is off.
+func (t *TCP) dialDropMetrics(hostport string) *metrics.Counter {
+	if t.reg == nil {
+		return nil
+	}
+	if c, ok := t.dialDrops[hostport]; ok {
+		return c
+	}
+	c := t.reg.Counter("basil_net_frames_dropped_dialing_total", "peer", hostport)
+	t.dialDrops[hostport] = c
+	return c
 }
 
 // TCPOptions tunes a TCP network. The zero value selects the defaults.
@@ -119,6 +160,23 @@ type TCPOptions struct {
 	// down; sends to it during the window are dropped without dialing.
 	// Default 1s.
 	DialBackoff time.Duration
+	// MaxConns caps concurrently-open inbound (accepted) connections;
+	// further accepts are closed immediately and counted in
+	// basil_net_conns_rejected_total. 0 = unlimited (the default).
+	MaxConns int
+	// AcceptRate caps accepted connections per second (a pacing delay
+	// between accepts, not a burst bucket). 0 = unlimited (the default).
+	AcceptRate int
+	// PendingBytes budgets the bytes queued on one connection's outbound
+	// queue; frames that would exceed it are dropped and counted in
+	// basil_net_frames_dropped_overflow_total. It bounds the memory a slow
+	// or stalled peer can pin (the frame queue alone admits Queue frames
+	// of up to MaxFrame bytes each). 0 = unlimited (the default).
+	PendingBytes int
+	// MaxInflight caps frames queued across all connections — the
+	// transport-wide inflight limit. Excess frames are dropped and counted
+	// in basil_net_frames_dropped_overflow_total. 0 = unlimited.
+	MaxInflight int
 	// Metrics, if non-nil, registers the transport's wire counters
 	// (frames/bytes in and out, dials and backoff drops, broadcast
 	// fanout) on the given registry. Nil disables instrumentation.
@@ -172,12 +230,16 @@ func makeFrame(from, to Addr, body []byte) wireFrame {
 // background dial goroutine; frames enqueued meanwhile wait in out.
 type tcpConn struct {
 	hostport string // dial target; "" for inbound connections
+	inbound  bool   // accepted (counts against MaxConns)
 	out      chan wireFrame
 	closed   chan struct{}
 	// ready is closed once the socket is attached; while it is open the
 	// peer may well be dead, so a full queue drops instead of blocking.
 	ready chan struct{}
 	once  sync.Once
+	// pending is the byte footprint of frames currently in out, enforced
+	// against TCPOptions.PendingBytes.
+	pending atomic.Int64
 
 	connMu sync.Mutex
 	c      net.Conn // nil until the background dial completes (outbound)
@@ -210,37 +272,102 @@ func (c *tcpConn) attach(raw net.Conn) bool {
 	}
 }
 
+// frameSize is a queued frame's accounting footprint.
+func frameSize(f wireFrame) int64 { return int64(len(f.hdr) + len(f.body)) }
+
+// releaseFrame returns a dequeued (or drained) frame's reservation to the
+// per-conn byte budget and the global inflight count. Every successful
+// enqueue is matched by exactly one releaseFrame: the writer releases on
+// dequeue, and dead connections' queues are drained by drainQueue.
+func (t *TCP) releaseFrame(c *tcpConn, f wireFrame) {
+	c.pending.Add(-frameSize(f))
+	t.inflight.Add(-1)
+}
+
+// drainQueue empties a dead connection's outbound queue, releasing the
+// reservations of frames no writer will ever dequeue. Safe to run
+// concurrently with the writer or another drain: a frame is received (and
+// hence released) exactly once.
+func (t *TCP) drainQueue(c *tcpConn) {
+	for {
+		select {
+		case f := <-c.out:
+			t.releaseFrame(c, f)
+		default:
+			return
+		}
+	}
+}
+
+// enqResult says what enqueue did with a frame.
+type enqResult uint8
+
+// enqueue outcomes.
+const (
+	enqQueued         enqResult = iota
+	enqDroppedDialing           // queue full while the background dial is pending
+	enqDroppedLimit             // per-conn byte budget or global inflight cap
+	enqDead                     // connection is dead; caller should evict
+)
+
 // enqueue hands a frame to the writer goroutine. On a live (attached)
 // connection a full queue blocks — backpressure. While the background
 // dial is still pending a full queue drops the frame instead: the peer is
 // plausibly dead, and blocking here would let it stall a broadcast for
-// the remainder of the dial timeout. It reports false when the connection
-// is dead (the caller should evict it).
-func (c *tcpConn) enqueue(frame wireFrame) bool {
+// the remainder of the dial timeout. The per-conn byte budget and the
+// global inflight cap shed over-limit frames the same way; the result says
+// which of these happened so the caller can account for the drop.
+func (t *TCP) enqueue(c *tcpConn, frame wireFrame) enqResult {
 	select {
 	case <-c.closed:
-		return false
+		return enqDead
 	default:
 	}
+	size := frameSize(frame)
+	if max := int64(t.opts.PendingBytes); max > 0 && c.pending.Load()+size > max {
+		t.mx.overflowDrops.Inc()
+		return enqDroppedLimit
+	}
+	if max := int64(t.opts.MaxInflight); max > 0 && t.inflight.Load() >= max {
+		t.mx.overflowDrops.Inc()
+		return enqDroppedLimit
+	}
+	c.pending.Add(size)
+	t.inflight.Add(1)
+	committed := false
 	select {
 	case c.out <- frame:
-		return true
+		committed = true
 	case <-c.closed:
-		return false
+		t.releaseFrame(c, frame)
+		return enqDead
 	default:
 	}
-	// Queue full. Only block for it to drain if the socket is attached.
-	select {
-	case <-c.ready:
-	default:
-		return true // dial still pending: drop, connection stays usable
+	if !committed {
+		// Queue full. Only block for it to drain if the socket is attached.
+		select {
+		case <-c.ready:
+		default:
+			t.releaseFrame(c, frame)
+			return enqDroppedDialing
+		}
+		select {
+		case c.out <- frame:
+		case <-c.closed:
+			t.releaseFrame(c, frame)
+			return enqDead
+		}
 	}
+	// The commit can race the connection dying after its final drain; if it
+	// did, reclaim whatever is still queued ourselves (dequeues are
+	// exactly-once either way) so the reservation cannot leak.
 	select {
-	case c.out <- frame:
-		return true
 	case <-c.closed:
-		return false
+		t.drainQueue(c)
+		return enqDead
+	default:
 	}
+	return enqQueued
 }
 
 // NewTCP creates a TCP network listening on listen (empty for client-only
@@ -262,6 +389,10 @@ func NewTCPOpts(listen string, book map[Addr]string, opts TCPOptions) (*TCP, err
 		live:     make(map[*tcpConn]struct{}),
 		down:     make(map[string]time.Time),
 		mx:       initTCPMetrics(opts.Metrics),
+		reg:      opts.Metrics,
+	}
+	if t.reg != nil {
+		t.dialDrops = make(map[string]*metrics.Counter)
 	}
 	t.dialFn = func(hostport string) (net.Conn, error) {
 		return net.DialTimeout("tcp", hostport, t.opts.DialTimeout)
@@ -293,12 +424,37 @@ func (t *TCP) SetRoute(a Addr, hostport string) {
 	t.mu.Unlock()
 }
 
+// acceptLoop accepts inbound connections until the listener closes. Accept
+// errors other than listener closure — EMFILE under fd pressure,
+// ECONNABORTED from a peer resetting mid-handshake — are transient: the
+// loop backs off and retries instead of returning, because returning here
+// permanently stops the server accepting connections while looking
+// perfectly healthy otherwise.
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
+	backoff := time.Millisecond
+	var pace time.Duration
+	if t.opts.AcceptRate > 0 {
+		pace = time.Second / time.Duration(t.opts.AcceptRate)
+	}
 	for {
 		raw, err := t.ln.Accept()
 		if err != nil {
-			return
+			if t.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			t.mx.acceptRetries.Inc()
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = time.Millisecond
+		if !t.admitInbound() {
+			t.mx.connsRejected.Inc()
+			raw.Close()
+			continue
 		}
 		c, ok := t.adopt(raw, "")
 		if !ok {
@@ -309,7 +465,29 @@ func (t *TCP) acceptLoop() {
 		// that are not in the address book.
 		t.wg.Add(1)
 		go t.readLoop(c, true)
+		if pace > 0 {
+			time.Sleep(pace)
+		}
 	}
+}
+
+// isClosed reports whether Close has begun.
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// admitInbound reserves an inbound-connection slot against MaxConns; the
+// slot is returned by evict when the connection dies.
+func (t *TCP) admitInbound() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opts.MaxConns > 0 && t.inbound >= t.opts.MaxConns {
+		return false
+	}
+	t.inbound++
+	return true
 }
 
 // adopt registers an inbound connection, starts its writer goroutine, and
@@ -318,6 +496,7 @@ func (t *TCP) adopt(raw net.Conn, hostport string) (*tcpConn, bool) {
 	c := &tcpConn{
 		c:        raw,
 		hostport: hostport,
+		inbound:  hostport == "",
 		out:      make(chan wireFrame, t.opts.Queue),
 		closed:   make(chan struct{}),
 		ready:    make(chan struct{}),
@@ -356,8 +535,10 @@ func (t *TCP) writeLoop(c *tcpConn) {
 		select {
 		case <-c.closed:
 			bw.Flush()
+			t.drainQueue(c)
 			return
 		case frame := <-c.out:
+			t.releaseFrame(c, frame)
 			if !write(frame) {
 				t.evict(c)
 				return
@@ -366,6 +547,7 @@ func (t *TCP) writeLoop(c *tcpConn) {
 			for {
 				select {
 				case more := <-c.out:
+					t.releaseFrame(c, more)
 					if !write(more) {
 						t.evict(c)
 						return
@@ -441,9 +623,13 @@ func (t *TCP) evict(c *tcpConn) {
 			delete(t.reverse, a)
 		}
 	}
+	if _, wasLive := t.live[c]; wasLive && c.inbound {
+		t.inbound-- // return the MaxConns slot exactly once
+	}
 	delete(t.live, c)
 	t.mu.Unlock()
 	c.close()
+	t.drainQueue(c)
 }
 
 // Register implements Network. Unlike Local, delivery runs on the
@@ -479,23 +665,28 @@ func (t *TCP) Send(from, to Addr, msg any) {
 // is serialized at most once for the whole broadcast (lazily, so a fanout
 // that resolves entirely to local handlers never touches the codec), and
 // every remote destination's frame shares that body, stamped with its own
-// header. Local destinations reuse the decoded value directly.
-func (t *TCP) SendAll(from Addr, tos []Addr, msg any) {
+// header. Local destinations reuse the decoded value directly. The return
+// value is the number of destinations actually handed the message; drops
+// while a dial is pending are additionally charged to the peer's
+// frames_dropped_dialing counter so partial broadcasts are visible.
+func (t *TCP) SendAll(from Addr, tos []Addr, msg any) int {
 	if len(tos) > 1 {
 		t.mx.broadcasts.Inc()
 		t.mx.fanout.Add(uint64(len(tos)))
 	}
+	sent := 0
 	var body []byte
 	unencodable := false
 	for _, to := range tos {
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
-			return
+			return sent
 		}
 		if h := t.handlers[to]; h != nil {
 			t.mu.Unlock()
 			h.Deliver(from, msg)
+			sent++
 			continue
 		}
 		conn := t.routeLocked(to)
@@ -517,10 +708,21 @@ func (t *TCP) SendAll(from Addr, tos []Addr, msg any) {
 				continue
 			}
 		}
-		if !conn.enqueue(makeFrame(from, to, body)) {
+		switch t.enqueue(conn, makeFrame(from, to, body)) {
+		case enqQueued:
+			sent++
+		case enqDroppedDialing:
+			t.mu.Lock()
+			c := t.dialDropMetrics(conn.hostport)
+			t.mu.Unlock()
+			c.Inc()
+		case enqDroppedLimit:
+			// already counted in overflowDrops by enqueue
+		case enqDead:
 			t.evict(conn)
 		}
 	}
+	return sent
 }
 
 // routeLocked resolves to's outbound connection, starting a background

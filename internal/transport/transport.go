@@ -85,19 +85,29 @@ type Network interface {
 	// (from, to) pair — but implementations may (and the TCP transport
 	// does) serialize the message body exactly once for the whole
 	// broadcast, stamping only the per-destination frame header.
+	// It returns the number of destinations the message was actually
+	// handed to (delivered locally or queued for the wire): a sender that
+	// fans out to a quorum can see a partial broadcast — frames dropped
+	// while a dial is pending, bounded queues at capacity — instead of
+	// silently waiting out a timeout that can never be met.
 	// Implementations must not retain tos.
-	SendAll(from Addr, tos []Addr, msg any)
+	SendAll(from Addr, tos []Addr, msg any) int
 	// Close stops all dispatchers.
 	Close()
 }
 
-// mailbox is an unbounded FIFO queue feeding one dispatch goroutine.
-// Unbounded queues avoid send/receive deadlocks between nodes that message
-// each other symmetrically; protocol-level quorum waiting bounds growth.
+// mailbox is a FIFO queue feeding one dispatch goroutine. With cap == 0 it
+// is unbounded: unbounded queues avoid send/receive deadlocks between nodes
+// that message each other symmetrically, and protocol-level quorum waiting
+// bounds growth for honest traffic. A positive cap bounds the queue and
+// push drops (and reports) the overflow instead — the shape replica-bound
+// traffic wants, where a Byzantine client spamming signed requests must
+// hit a wall here rather than grow the heap.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []envelope
+	cap    int // 0 = unbounded
 	closed bool
 }
 
@@ -106,19 +116,28 @@ type envelope struct {
 	msg  any
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox() *mailbox { return newBoundedMailbox(0) }
+
+// newBoundedMailbox returns a mailbox that holds at most cap envelopes
+// (0 = unbounded).
+func newBoundedMailbox(cap int) *mailbox {
+	m := &mailbox{cap: cap}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
-func (m *mailbox) push(e envelope) {
+// push appends e unless the mailbox is closed or full; it reports whether
+// the envelope was accepted.
+func (m *mailbox) push(e envelope) bool {
 	m.mu.Lock()
-	if !m.closed {
-		m.queue = append(m.queue, e)
-		m.cond.Signal()
+	if m.closed || (m.cap > 0 && len(m.queue) >= m.cap) {
+		m.mu.Unlock()
+		return false
 	}
+	m.queue = append(m.queue, e)
+	m.cond.Signal()
 	m.mu.Unlock()
+	return true
 }
 
 // pop blocks until a message is available or the mailbox closes.

@@ -23,7 +23,8 @@ const (
 	MsgInvokeFB
 	MsgElectFB
 	MsgDecFB
-	MsgAbortRead // release RTS after client-side Abort during execution
+	MsgAbortRead  // release RTS after client-side Abort during execution
+	MsgOverloaded // explicit load-shed reply from an over-capacity replica
 )
 
 // Signature authenticates a replica reply. Exactly one of Direct or
@@ -297,6 +298,20 @@ type WritebackRequest struct {
 	Decision Decision
 	Cert     *DecisionCert
 	Meta     *TxMeta
+}
+
+// Overloaded is a replica's explicit load-shed reply: the admission queue
+// was over capacity (or the sender's reputation deprioritized it under
+// pressure), so the request was dropped without processing. ReqID echoes
+// the shed request so the client's reply mux can route it; RetryAfterMicros
+// is the replica's backoff hint. The message is unsigned and advisory: a
+// forged Overloaded can only delay a client's retry pacing (retries stay
+// bounded by the client's own deadline), never change a quorum outcome.
+type Overloaded struct {
+	ReqID            uint64
+	ShardID          int32
+	ReplicaID        int32
+	RetryAfterMicros uint64
 }
 
 // InvokeFB starts the divergent-case fallback (paper §5 step 1). ST2Rs are

@@ -31,7 +31,7 @@ var ErrWireNesting = errors.New("types: wire encoding nested too deep")
 const maxWireDepth = 16
 
 // EncodeMessage returns the tagged wire encoding of msg. It fails on
-// values that are not one of the eleven protocol messages.
+// values that are not one of the twelve protocol messages.
 func EncodeMessage(msg any) ([]byte, error) {
 	return AppendMessage(make([]byte, 0, 128), msg)
 }
@@ -108,6 +108,12 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		for i := range m.Tallies {
 			b = appendVoteTally(b, &m.Tallies[i])
 		}
+	case *Overloaded:
+		b = append(b, byte(MsgOverloaded))
+		b = appendU64(b, m.ReqID)
+		b = appendU32(b, uint32(m.ShardID))
+		b = appendU32(b, uint32(m.ReplicaID))
+		b = appendU64(b, m.RetryAfterMicros)
 	case *ElectFB:
 		b = append(b, byte(MsgElectFB))
 		b = appendElectFB(b, m)
@@ -191,6 +197,9 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 			m.Tallies = append(m.Tallies, d.voteTally(0))
 		}
 		msg = m
+	case MsgOverloaded:
+		msg = &Overloaded{ReqID: d.u64(), ShardID: int32(d.u32()),
+			ReplicaID: int32(d.u32()), RetryAfterMicros: d.u64()}
 	case MsgElectFB:
 		msg = d.electFB()
 	case MsgDecFB:

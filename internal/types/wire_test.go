@@ -133,6 +133,8 @@ func wireMessages(seed int64) []any {
 			Meta: w.meta(), ST2Rs: []ST2Reply{w.st2Reply()},
 			Decision: DecisionCommit, Tallies: []VoteTally{w.tally()},
 		},
+		&Overloaded{ReqID: w.r.Uint64(), ShardID: 2, ReplicaID: 5,
+			RetryAfterMicros: w.r.Uint64()},
 		&ElectFB{TxID: w.txid(), ShardID: 1, ReplicaID: 2, Decision: DecisionCommit,
 			View: 2, Sig: w.sig(false)},
 		&DecFB{TxID: w.txid(), ShardID: 1, LeaderID: 3, Decision: DecisionAbort,
@@ -148,8 +150,8 @@ func wireMessages(seed int64) []any {
 // original bytes, which also proves field-level equality.
 func TestWireRoundTripAllMessages(t *testing.T) {
 	msgs := wireMessages(7)
-	if len(msgs) != 11 {
-		t.Fatalf("expected all 11 protocol messages, have %d", len(msgs))
+	if len(msgs) != 12 {
+		t.Fatalf("expected all 12 protocol messages, have %d", len(msgs))
 	}
 	for _, msg := range msgs {
 		enc, err := EncodeMessage(msg)
@@ -184,6 +186,7 @@ func TestWireRoundTripSparseMessages(t *testing.T) {
 		&InvokeFB{ReqID: 8, ClientID: 9},
 		&DecFB{View: 1},
 		&AbortRead{ClientID: 10},
+		&Overloaded{ReqID: 11},
 	} {
 		enc, err := EncodeMessage(msg)
 		if err != nil {

@@ -11,7 +11,7 @@ import (
 
 // Finding is one reported invariant violation.
 type Finding struct {
-	Code string `json:"code"` // BV000..BV006
+	Code string `json:"code"` // BV000..BV007
 	File string `json:"file"`
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
@@ -104,6 +104,7 @@ var passes = []pass{
 	goroutineHygiene,     // BV004
 	metricsTax,           // BV005
 	metricDefinitionSite, // BV006
+	unboundedIntake,      // BV007
 }
 
 // analyze runs every pass on pkg and filters results through its

@@ -32,6 +32,11 @@
 //	       package's single definition site (a *Metrics* function or a
 //	       metrics*.go file), where duplicate-name panics and
 //	       divergence from the measured overhead hide.
+//	BV007 unbounded-intake     — a function on the receive path (name
+//	       contains deliver/dispatch/enqueue/push/admit/intake) grows a
+//	       struct-held slice or map with no visible capacity check
+//	       (cap-ish identifier or len(...) comparison) in the same
+//	       function — a queue an untrusted peer can pump until OOM.
 //
 // Suppression: a finding line (or the line above it) may carry
 // `//nolint:basilvet — <justification>`. The justification is mandatory;

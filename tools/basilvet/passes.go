@@ -588,6 +588,134 @@ var registerMethods = map[string]bool{
 	"BindCounter": true, "BindCounterFunc": true, "BindGaugeFunc": true,
 }
 
+// --- BV007 unbounded-intake ----------------------------------------------
+//
+// The admission-control rule: every intake path must be bounded. A
+// function on the receive path (its name contains deliver, dispatch,
+// enqueue, push, admit, or intake) that grows a container hanging off a
+// struct — `x.f = append(x.f, ...)` or `x.f[k] = v` — is a queue an
+// untrusted peer can pump; without a visible cap it grows until OOM.
+// Bounding evidence is any identifier mentioning a cap (cap/max/limit/
+// bound/full/size/shed/drop/evict) or a comparison against len(...) in
+// the same function: the shapes mailbox.push, BatchSigner.Enqueue and
+// TCP.enqueue use. A genuinely unbounded-by-design site needs a
+// justified //nolint:basilvet naming who bounds it instead.
+
+var intakeNames = []string{"deliver", "dispatch", "enqueue", "push", "admit", "intake"}
+
+var boundNames = []string{"cap", "max", "limit", "bound", "full", "size", "shed", "drop", "evict"}
+
+func unboundedIntake(pkg *Package) []Finding {
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isIntakeName(fd.Name.Name) {
+				continue
+			}
+			if hasBoundEvidence(fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					switch x := ast.Unparen(lhs).(type) {
+					case *ast.IndexExpr:
+						// x.f[k] = v — map/slice insert on a field.
+						if _, isSel := ast.Unparen(x.X).(*ast.SelectorExpr); isSel {
+							findings = append(findings, finding(pkg, "BV007", as,
+								"%s inserts into a struct-held map on the intake path with no visible bound — a peer can grow it without limit; cap it or justify with //nolint:basilvet", funcName(fd)))
+						}
+					case *ast.SelectorExpr:
+						// x.f = append(x.f, ...) — slice growth on a field.
+						if i < len(as.Rhs) && isAppendToSelector(as.Rhs[i]) {
+							findings = append(findings, finding(pkg, "BV007", as,
+								"%s appends to a struct-held queue on the intake path with no visible bound — a peer can grow it without limit; cap it or justify with //nolint:basilvet", funcName(fd)))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+func isIntakeName(name string) bool {
+	l := strings.ToLower(name)
+	for _, n := range intakeNames {
+		if strings.Contains(l, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func isAppendToSelector(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	_, isSel := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	return isSel
+}
+
+// hasBoundEvidence reports whether the body shows any sign of a capacity
+// check: a cap-ish identifier, or a comparison involving len(...).
+func hasBoundEvidence(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if isBoundName(x.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isBoundName(x.Sel.Name) {
+				found = true
+			}
+			return true
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if isLenCall(x.X) || isLenCall(x.Y) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isBoundName(name string) bool {
+	l := strings.ToLower(name)
+	for _, n := range boundNames {
+		if strings.Contains(l, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLenCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "len"
+}
+
 func metricDefinitionSite(pkg *Package) []Finding {
 	if pkg.Pkg.Name() == "metrics" {
 		return nil

@@ -1,0 +1,72 @@
+// Package queuecases is a basilvet fixture for the BV007 unbounded-intake
+// pass: intake-path functions (deliver/dispatch/enqueue/push/admit/intake)
+// growing a struct-held slice or map must show a capacity check in the
+// same function.
+package queuecases
+
+type envelope struct {
+	from string
+	msg  any
+}
+
+type node struct {
+	queue    []envelope
+	pending  map[uint64]any
+	capacity int
+	inbox    []envelope
+}
+
+// --- positives ---
+
+func (n *node) Deliver(from string, msg any) {
+	n.queue = append(n.queue, envelope{from, msg}) // want BV007
+}
+
+func (n *node) enqueuePending(id uint64, msg any) {
+	n.pending[id] = msg // want BV007
+}
+
+func (n *node) pushBoth(e envelope, id uint64) {
+	n.inbox = append(n.inbox, e) // want BV007
+	n.pending[id] = e.msg        // want BV007
+}
+
+// --- negatives ---
+
+// pushCapped checks against an explicit cap — the mailbox.push shape.
+func (n *node) pushCapped(e envelope) bool {
+	if len(n.queue) >= n.capacity {
+		return false
+	}
+	n.queue = append(n.queue, e)
+	return true
+}
+
+// enqueueSized flushes at a size threshold — the BatchSigner.Enqueue
+// shape (bound evidence by identifier name, no len comparison needed).
+func (n *node) enqueueSized(e envelope, size int) {
+	n.inbox = append(n.inbox, e)
+	if size > 0 {
+		n.inbox = nil
+	}
+}
+
+// admitJustified is unbounded here by design; the justification names
+// the bounding layer.
+func (n *node) admitJustified(id uint64, msg any) {
+	n.pending[id] = msg //nolint:basilvet — bounded upstream by the transport's MaxInflight cap
+}
+
+// route grows nothing struct-held: locals are free.
+func (n *node) routeDispatch(msgs []any) {
+	var local []any
+	for _, m := range msgs {
+		local = append(local, m)
+	}
+	_ = local
+}
+
+// handle is not an intake-path name; growth here is out of scope.
+func (n *node) handle(e envelope) {
+	n.queue = append(n.queue, e)
+}
