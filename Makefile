@@ -33,7 +33,7 @@ linkcheck:
 
 # Project invariants go vet cannot see — lock discipline, log-before-
 # externalize, error/goroutine hygiene, metrics tax and definition sites;
-# tools/basilvet fails on unjustified violations (codes BV000-BV007,
+# tools/basilvet fails on unjustified violations (codes BV000-BV008,
 # documented in ARCHITECTURE.md "Machine-checked invariants").
 invariant-check:
 	$(GO) run ./tools/basilvet ./internal/... ./basil ./cmd/...
@@ -49,9 +49,11 @@ test:
 # paths, the bench harness that drives clusters from many client
 # goroutines, the wire codec, and the signature pool; the crash-restart
 # battery (race-scaled via the raceEnabled build tag) rides along so
-# durability regressions are caught locally. Runs as part of `make check`.
+# durability regressions are caught locally, as does the tracer (a
+# lock-free span ring written by every component at once). Runs as part
+# of `make check`.
 test-race:
-	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/ ./internal/quorum/ ./internal/benchharness/ ./internal/types/ ./internal/cryptoutil/
+	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/ ./internal/quorum/ ./internal/benchharness/ ./internal/types/ ./internal/cryptoutil/ ./internal/trace/
 	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica|TestOverloadSheds'
 
 # The transport and codec tests are required to pass under the race
@@ -68,12 +70,16 @@ race:
 # steady-state checkpoint cost must stay flat as history grows), the
 # admission overload scenario (recorded to BENCH_admission.json — honest
 # throughput under a line-rate spammer, unlimited vs bounded intake; see
-# internal/benchharness/admission.go), and the wire-path benchmarks.
+# internal/benchharness/admission.go), the tracing experiment (recorded
+# to BENCH_trace.json — per-stage p50/p99 from a fully sampled cluster
+# plus the unsampled-path overhead, which must stay within 2%; see
+# internal/benchharness/tracefig.go), and the wire-path benchmarks.
 bench:
 	$(GO) test ./internal/store/ -run TestWriteParallelBench -parallelbench $(CURDIR)/BENCH_parallel.json -v -count=1
 	$(GO) test ./internal/wal/ -run TestWriteWALBench -walbench $(CURDIR)/BENCH_wal.json -v -count=1
 	$(GO) test ./internal/replica/ -run TestWriteCheckpointBench -checkpointbench $(CURDIR)/BENCH_checkpoint.json -v -count=1
 	$(GO) test ./internal/benchharness/ -run TestWriteAdmissionBench -admissionbench $(CURDIR)/BENCH_admission.json -v -count=1
+	$(GO) test ./internal/benchharness/ -run TestWriteTraceBench -tracebench $(CURDIR)/BENCH_trace.json -v -count=1
 	GOMAXPROCS=4 $(GO) test ./internal/store/ -run xxx -bench 'BenchmarkPrepare' -benchtime=2000x
 	$(GO) test ./internal/wal/ -run xxx -bench BenchmarkWALAppend -benchtime=1000x
 	$(GO) test ./internal/types/ -run xxx -bench BenchmarkWireCodec

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/client"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/replica"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -189,5 +191,64 @@ func TestAdminEndpointE2E(t *testing.T) {
 	reps[0].Close()
 	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !regexp.MustCompile(`"closed"`).MatchString(body) {
 		t.Fatalf("/healthz after close: %d %s", code, body)
+	}
+}
+
+// TestAdminEndpointMethodsAndContentTypes pins the HTTP contract of every
+// admin route, tracing routes included: GET answers with the right
+// Content-Type; anything else is refused with 405 and an Allow header.
+// All admin endpoints are read-only views — a POST reaching one is a
+// client bug that must fail loudly, not be silently served.
+func TestAdminEndpointMethodsAndContentTypes(t *testing.T) {
+	tr := trace.New(trace.Options{SampleRate: 1})
+	fr := trace.NewFlightRecorder("r0.0", 8)
+	admin, err := metrics.StartAdmin("127.0.0.1:0", metrics.NewRegistry(), nil,
+		metrics.Route{Pattern: "/traces", Handler: trace.TracesHandler(tr)},
+		metrics.Route{Pattern: "/traces/slow", Handler: trace.SlowHandler(tr)},
+		metrics.Route{Pattern: "/debug/flightrec", Handler: trace.FlightHandler(fr)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	base := "http://" + admin.Addr()
+
+	cases := []struct{ path, wantCT string }{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/stats", "application/json"},
+		{"/healthz", "application/json"},
+		{"/traces", "application/json"},
+		{"/traces/slow", "application/json"},
+		{"/debug/flightrec", "application/json"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(base + c.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", c.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", c.path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != c.wantCT {
+			t.Errorf("GET %s: Content-Type %q, want %q", c.path, ct, c.wantCT)
+		}
+
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, _ := http.NewRequest(method, base+c.path, strings.NewReader("x"))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", method, c.path, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, c.path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+				t.Errorf("%s %s: Allow %q, want %q", method, c.path, allow, http.MethodGet)
+			}
+		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/quorum"
 	"repro/internal/replica"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -126,6 +127,18 @@ type Options struct {
 	// unbounded pre-admission behavior, kept as the overload-experiment
 	// baseline).
 	DispatchQueue int
+	// Tracing enables the end-to-end transaction tracer (internal/trace):
+	// one shared Tracer spans clients, transports and replicas, served at
+	// /traces on the admin server. Off by default — the seed-identical
+	// configuration carries a nil tracer everywhere.
+	Tracing bool
+	// TraceSample is the probability a transaction is sampled at Begin
+	// (requires Tracing). Transactions that hit an Overloaded shed,
+	// recovery, or the fallback are captured regardless, so 0 keeps only
+	// the tail traces.
+	TraceSample float64
+	// TraceRing bounds the completed-span ring; 0 uses the trace default.
+	TraceRing int
 }
 
 func (o *Options) withDefaults() {
@@ -178,6 +191,10 @@ type Cluster struct {
 	signerOf quorum.SignerOf
 	nextCli  atomic.Int32
 	clients  []*Client
+	// tracer is shared by every client, transport and replica of the
+	// cluster (nil when Options.Tracing is off — all record paths are
+	// nil-safe).
+	tracer *trace.Tracer
 	// cliPool is the verification pool shared by every client of this
 	// cluster (replicas each own their ingest pool).
 	cliPool *cryptoutil.VerifyPool
@@ -211,6 +228,9 @@ func NewCluster(opts Options) *Cluster {
 		opts: opts, net: net, ownNet: own, registry: reg, signerOf: signerOf,
 		replicas: make([][]*replica.Replica, opts.Shards),
 		cliPool:  cryptoutil.NewVerifyPool(opts.VerifyWorkers),
+	}
+	if opts.Tracing {
+		c.tracer = trace.New(trace.Options{SampleRate: opts.TraceSample, RingSize: opts.TraceRing})
 	}
 	if opts.TCPLoopback {
 		c.tcpBook = make(map[transport.Addr]string)
@@ -250,6 +270,7 @@ func (c *Cluster) replicaConfig(s, i int32, nodeNet transport.Network) replica.C
 		CheckpointEvery:     c.opts.CheckpointEvery,
 		AllowUnvalidatedST2: c.opts.AllowUnvalidatedST2,
 		DispatchQueue:       c.opts.DispatchQueue,
+		Tracer:              c.tracer,
 	}
 	if c.opts.ReplicaByzantine != nil {
 		cfg.Byzantine = c.opts.ReplicaByzantine(s, i)
@@ -296,7 +317,7 @@ func (c *Cluster) RestartReplica(shard, index int) (*replica.Replica, error) {
 // address book. Loopback listen failures mean the host cannot run the
 // requested topology at all, so they are fatal.
 func (c *Cluster) newTCPNet(listen string) *transport.TCP {
-	tn, err := transport.NewTCP(listen, c.tcpBook)
+	tn, err := transport.NewTCPOpts(listen, c.tcpBook, transport.TCPOptions{Tracer: c.tracer})
 	if err != nil {
 		panic(fmt.Sprintf("basil: TCPLoopback transport: %v", err))
 	}
@@ -353,6 +374,7 @@ func (c *Cluster) newClientWithClock(clk clock.Clock) *Client {
 		ReadWait: c.opts.ReadWait, DisableFastPath: c.opts.DisableFastPath,
 		FastPathWait: c.opts.FastPathWait, PhaseTimeout: c.opts.PhaseTimeout,
 		RetryTimeout: c.opts.RetryTimeout, VerifyPool: c.cliPool,
+		Tracer: c.tracer,
 	})
 	cl := &Client{inner: inner}
 	c.clients = append(c.clients, cl)
@@ -374,6 +396,11 @@ func (c *Cluster) Shards() int { return c.opts.Shards }
 // It is nil when the cluster runs over TCPLoopback — link policies apply
 // to the in-process Local network only.
 func (c *Cluster) Net() *transport.Local { return c.net }
+
+// Tracer exposes the cluster's shared transaction tracer (nil unless
+// Options.Tracing): snapshot it in tests, or mount its handlers on an
+// admin server via trace.TracesHandler and friends.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // Close flushes replicas, drains the client verification pool, and stops
 // the owned transports.

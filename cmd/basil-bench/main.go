@@ -21,7 +21,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, admission, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, admission, trace, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	flag.Parse()
 
@@ -128,6 +128,12 @@ func main() {
 		any = true
 		t := benchharness.FigAdmission(scale)
 		t.Render(out)
+	}
+	if run("trace") {
+		any = true
+		stages, over := benchharness.FigTrace(scale)
+		stages.Render(out)
+		over.Render(out)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cryptoutil"
 	"repro/internal/quorum"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated shard:index=host:port routes")
 	seed := flag.Int64("seed", 1, "registry key seed (must match the servers)")
 	id := flag.Int("id", 1000, "client id (unique per client)")
+	traceSample := flag.Float64("trace-sample", -1, "transaction tracing sample probability in [0,1]; sampled contexts ride the wire, so replicas started with -trace-sample serve the full span tree at /traces on their admin endpoints (negative = tracing off)")
 	flag.Parse()
 
 	book := make(map[transport.Addr]string)
@@ -50,7 +52,12 @@ func main() {
 		book[transport.ReplicaAddr(int32(sh), int32(idx))] = kv[1]
 	}
 
-	net, err := transport.NewTCP(*listen, book)
+	var tracer *trace.Tracer
+	if *traceSample >= 0 {
+		tracer = trace.New(trace.Options{SampleRate: *traceSample})
+	}
+
+	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{Tracer: tracer})
 	if err != nil {
 		log.Fatalf("transport: %v", err)
 	}
@@ -71,6 +78,7 @@ func main() {
 		Registry: reg,
 		SignerOf: quorum.SignerOf(func(s, i int32) int32 { return s*int32(n) + i }),
 		Net:      net,
+		Tracer:   tracer,
 	})
 
 	fmt.Println("basil-kv: connected. commands: get <k> | put <k> <v> | txn k=v ... | quit")

@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/replica"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "maximum concurrent inbound TCP connections; further accepts are closed immediately (0 = unlimited)")
 	inflight := flag.Int("inflight", 0, "global cap on frames queued across all outbound connections; beyond it sends drop and count in basil_net_frames_dropped_overflow_total (0 = unlimited)")
 	dispatchQueue := flag.Int("dispatch-queue", 0, "replica admission cap: messages admitted but not yet processed; arrivals beyond it get an explicit Overloaded{RetryAfter} reply (0 = default 1024, negative = admission disabled)")
+	traceSample := flag.Float64("trace-sample", -1, "transaction tracing sample probability in [0,1]; transactions that hit a shed, recovery or fallback are always captured regardless of the rate; span trees served at /traces and /traces/slow on -admin-addr (negative = tracing off)")
 	flag.Parse()
 
 	shard, index, err := parseReplica(*which)
@@ -62,12 +64,18 @@ func main() {
 		log.Fatalf("bad -peers: %v", err)
 	}
 
+	var tracer *trace.Tracer
+	if *traceSample >= 0 {
+		tracer = trace.New(trace.Options{SampleRate: *traceSample})
+	}
+
 	mreg := metrics.NewRegistry()
 	net, err := transport.NewTCPOpts(*listen, book, transport.TCPOptions{
 		MaxFrame:    *maxFrame,
 		Metrics:     mreg,
 		MaxConns:    *maxConns,
 		MaxInflight: *inflight,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		log.Fatalf("transport: %v", err)
@@ -92,6 +100,7 @@ func main() {
 		Net:             net,
 		Metrics:         mreg,
 		DispatchQueue:   *dispatchQueue,
+		Tracer:          tracer,
 	}, *dataDir)
 	if err != nil {
 		log.Fatalf("restore %s: %v", *dataDir, err)
@@ -99,12 +108,26 @@ func main() {
 	defer r.Close()
 
 	if *adminAddr != "" {
-		admin, err := metrics.StartAdmin(*adminAddr, mreg, r.Health)
+		// The flight recorder is always live (it feeds the mute dump), so
+		// /debug/flightrec is served whenever there is an admin endpoint;
+		// the span-tree routes need a tracer.
+		extra := []metrics.Route{
+			{Pattern: "/debug/flightrec", Handler: trace.FlightHandler(r.FlightRecorder())},
+		}
+		routes := "/metrics, /stats, /healthz, /debug/flightrec"
+		if tracer != nil {
+			extra = append(extra,
+				metrics.Route{Pattern: "/traces", Handler: trace.TracesHandler(tracer)},
+				metrics.Route{Pattern: "/traces/slow", Handler: trace.SlowHandler(tracer)},
+			)
+			routes += ", /traces, /traces/slow"
+		}
+		admin, err := metrics.StartAdmin(*adminAddr, mreg, r.Health, extra...)
 		if err != nil {
 			log.Fatalf("admin: %v", err)
 		}
 		defer admin.Close()
-		fmt.Printf("basil-server: admin endpoint on http://%s (/metrics, /stats, /healthz)\n", admin.Addr())
+		fmt.Printf("basil-server: admin endpoint on http://%s (%s)\n", admin.Addr(), routes)
 	}
 
 	durable := "in-memory"

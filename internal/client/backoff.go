@@ -51,6 +51,7 @@ func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
 // outstanding RetryAfter hint for the next pacing decision.
 func (c *Client) noteOverloaded(m *types.Overloaded) {
 	c.Stats.Overloads.Add(1)
+	c.forceTrace(forcedOverload, "overload")
 	if h := time.Duration(m.RetryAfterMicros) * time.Microsecond; h > c.retryHint {
 		c.retryHint = h
 	}

@@ -14,6 +14,7 @@ package client
 import (
 	"errors"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -78,6 +80,13 @@ type Config struct {
 	// transaction latency histograms. Nil creates a private registry
 	// (exposed via Client.Metrics); metrics.Nop disables instrumentation.
 	Metrics *metrics.Registry
+
+	// Tracer, when non-nil, samples transactions at Begin and records the
+	// client-side lifecycle spans; the sampling decision rides every
+	// request as types.TraceContext. Transactions that hit an Overloaded
+	// shed, recovery, or the fallback are force-captured regardless of the
+	// sampling rate.
+	Tracer *trace.Tracer
 }
 
 // Stats counts client-side protocol events.
@@ -129,6 +138,35 @@ type Client struct {
 	hRead   *metrics.Histogram // one network Read op
 	hCommit *metrics.Histogram // one Commit call (prepare + writeback)
 	hTxn    *metrics.Histogram // end-to-end Begin -> successful commit
+
+	// Tracing state for the current transaction. Plain fields are safe
+	// under the one-goroutine-per-Client contract: every collect loop and
+	// note runs on the client's own goroutine (Deliver only forwards into
+	// channels). tracer is nil-safe throughout.
+	tracer    *trace.Tracer
+	traceNode string             // span node label, e.g. "c7"
+	curTC     types.TraceContext // current transaction's wire context
+	curRoot   uint64             // root span id from tracer.Begin
+	curBegun  int64              // root span start anchor (tracer clock)
+	forced    uint8              // forcedX bits already recorded this txn
+}
+
+// Forced-capture reason bits: each reason is recorded at most once per
+// transaction, however many sheds or fallback rounds it hits.
+const (
+	forcedOverload uint8 = 1 << iota
+	forcedRecovery
+	forcedFallback
+)
+
+// forceTrace upgrades the current transaction's trace on a tail event
+// (shed, recovery, fallback) so it is captured regardless of sampling.
+func (c *Client) forceTrace(bit uint8, reason string) {
+	if c.tracer == nil || c.curTC.TraceID == 0 || c.forced&bit != 0 {
+		return
+	}
+	c.forced |= bit
+	c.tracer.Force(&c.curTC, c.traceNode, reason)
 }
 
 // Metrics returns the client's registry (snapshot it in tests, serve it
@@ -181,6 +219,8 @@ func New(cfg Config) *Client {
 		rng: rand.New(rand.NewSource(int64(cfg.ID)*2654435761 + 1)),
 	}
 	c.qv = &quorum.Verifier{Cfg: c.qc, Sigs: c.sv, SignerOf: cfg.SignerOf, Pool: cfg.VerifyPool}
+	c.tracer = cfg.Tracer
+	c.traceNode = "c" + strconv.FormatInt(int64(cfg.ID), 10)
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()

@@ -160,7 +160,8 @@ func (c *Client) runPrepare(meta *types.TxMeta, depMetas map[types.TxID]*types.T
 
 	reqID, ch := c.newRequest(c.qc.N() * len(meta.Shards) * 2)
 	defer c.endRequest(reqID)
-	st1 := &types.ST1Request{ReqID: reqID, ClientID: uint64(c.cfg.ID), Meta: meta}
+	prepStart := c.tracer.Start(c.curTC)
+	st1 := &types.ST1Request{ReqID: reqID, ClientID: uint64(c.cfg.ID), Meta: meta, TC: c.curTC}
 	for _, s := range meta.Shards {
 		c.broadcastShard(s, st1)
 	}
@@ -176,6 +177,7 @@ func (c *Client) runPrepare(meta *types.TxMeta, depMetas map[types.TxID]*types.T
 		}
 	}
 	res, err := c.collectVotes(id, tallies, ch, deadline, meta, depMetas, resend)
+	c.tracer.End(c.curTC, c.traceNode, "client.prepare", c.curRoot, prepStart)
 	if err != nil {
 		return types.DecisionNone, err
 	}
@@ -360,13 +362,15 @@ func (c *Client) logDecision(meta *types.TxMeta, id types.TxID, res prepareResul
 	}
 	reqID, ch := c.newRequest(c.qc.N() * 2)
 	defer c.endRequest(reqID)
+	st2Start := c.tracer.Start(c.curTC)
 	st2 := &types.ST2Request{
 		ReqID: reqID, ClientID: uint64(c.cfg.ID), TxID: id, Meta: meta,
-		Decision: res.decision, Tallies: tallies, View: view,
+		Decision: res.decision, Tallies: tallies, View: view, TC: c.curTC,
 	}
 	c.broadcastShard(meta.LogShard(), st2)
 	st2rs, err := c.collectST2(id, meta.LogShard(), res.decision, ch,
 		func() { c.broadcastShard(meta.LogShard(), st2) })
+	c.tracer.End(c.curTC, c.traceNode, "client.st2", c.curRoot, st2Start)
 	if err != nil {
 		return nil, err
 	}
@@ -441,10 +445,13 @@ func (c *Client) collectST2(id types.TxID, logShard int32, want types.Decision, 
 // writeback broadcasts the decision certificate to every participant shard
 // (paper §4.3 step 1); it is asynchronous and needs no acknowledgement.
 func (c *Client) writeback(meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) {
+	wbStart := c.tracer.Start(c.curTC)
 	wb := &types.WritebackRequest{
 		ClientID: uint64(c.cfg.ID), TxID: cert.TxID, Decision: dec, Cert: cert, Meta: meta,
+		TC: c.curTC,
 	}
 	for _, s := range meta.Shards {
 		c.broadcastShard(s, wb)
 	}
+	c.tracer.End(c.curTC, c.traceNode, "client.writeback", c.curRoot, wbStart)
 }

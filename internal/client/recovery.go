@@ -20,9 +20,17 @@ func (c *Client) FinishTransaction(meta *types.TxMeta) (types.Decision, *types.D
 	id := meta.ID()
 	deadline := time.Now().Add(c.cfg.RetryTimeout)
 
+	// Recovery is a tail event by definition: force-capture the invoking
+	// transaction's trace before the RP broadcast so the recovery requests
+	// already carry the upgraded context.
+	c.forceTrace(forcedRecovery, "recovery")
+	if rcStart := c.tracer.Start(c.curTC); rcStart != 0 {
+		defer func() { c.tracer.End(c.curTC, c.traceNode, "client.recovery", c.curRoot, rcStart) }()
+	}
+
 	// --- Common case: RP broadcast. ---
 	reqID, ch := c.newRequest(c.qc.N() * (len(meta.Shards) + 1) * 2)
-	rp := &types.ST1Request{ReqID: reqID, ClientID: uint64(c.cfg.ID), Meta: meta, Recovery: true}
+	rp := &types.ST1Request{ReqID: reqID, ClientID: uint64(c.cfg.ID), Meta: meta, Recovery: true, TC: c.curTC}
 	for _, s := range meta.Shards {
 		c.broadcastShard(s, rp)
 	}
@@ -79,9 +87,10 @@ func (c *Client) FinishTransaction(meta *types.TxMeta) (types.Decision, *types.D
 			return types.DecisionNone, nil, ErrTimeout
 		}
 		c.Stats.FallbackRounds.Add(1)
+		c.forceTrace(forcedFallback, "fallback")
 		reqID, ch := c.newRequest(c.qc.N() * 4)
 		inv := &types.InvokeFB{
-			ReqID: reqID, ClientID: uint64(c.cfg.ID), TxID: id, Meta: meta,
+			ReqID: reqID, ClientID: uint64(c.cfg.ID), TxID: id, Meta: meta, TC: c.curTC,
 		}
 		for _, r := range st2rs {
 			inv.ST2Rs = append(inv.ST2Rs, r)

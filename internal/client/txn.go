@@ -45,6 +45,13 @@ func (c *Client) Begin() *Txn {
 	if c.timed {
 		t.begun = time.Now()
 	}
+	// One sampling decision per transaction; the anchor is taken even when
+	// unsampled so a mid-flight Force still yields a rooted trace.
+	if c.tracer != nil {
+		c.curTC, c.curRoot = c.tracer.Begin()
+		c.curBegun = c.tracer.Now()
+		c.forced = 0
+	}
 	return t
 }
 
@@ -90,6 +97,9 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	if c.timed {
 		defer c.hRead.Since(time.Now())
 	}
+	if rdStart := c.tracer.Start(c.curTC); rdStart != 0 {
+		defer func() { c.tracer.End(c.curTC, c.traceNode, "client.read", c.curRoot, rdStart) }()
+	}
 	shard := c.cfg.ShardOf(key)
 	replicas := c.replicasOf(shard)
 	fanout := c.cfg.ReadWait + c.cfg.F
@@ -100,7 +110,7 @@ func (t *Txn) Read(key string) ([]byte, error) {
 	attempt := 0
 	for {
 		reqID, ch := c.newRequest(len(replicas))
-		req := &types.ReadRequest{ReqID: reqID, ClientID: uint64(c.cfg.ID), Key: key, Ts: t.ts}
+		req := &types.ReadRequest{ReqID: reqID, ClientID: uint64(c.cfg.ID), Key: key, Ts: t.ts, TC: c.curTC}
 		n := fanout
 		if attempt > 0 {
 			n = len(replicas) // retry against the full shard
@@ -290,6 +300,7 @@ func (t *Txn) Abort() {
 	}
 	t.finished = true
 	t.c.Stats.TxAborted.Add(1)
+	t.c.tracer.Finish(t.c.curTC, t.c.traceNode, t.c.curRoot, t.c.curBegun, "abort")
 	if len(t.reads) == 0 {
 		return
 	}
@@ -349,19 +360,23 @@ func (t *Txn) Commit() error {
 	if len(t.reads) == 0 && len(t.writes) == 0 {
 		t.c.Stats.TxCommitted.Add(1)
 		t.c.hTxn.Since(t.begun)
+		t.c.tracer.Finish(t.c.curTC, t.c.traceNode, t.c.curRoot, t.c.curBegun, "commit")
 		return nil // empty transaction commits trivially
 	}
 	meta := t.buildMeta()
 	dec, err := t.c.runPrepare(meta, t.depMetas)
 	if err != nil {
 		t.c.Stats.TxAborted.Add(1)
+		t.c.tracer.Finish(t.c.curTC, t.c.traceNode, t.c.curRoot, t.c.curBegun, "failed")
 		return err
 	}
 	if dec == types.DecisionCommit {
 		t.c.Stats.TxCommitted.Add(1)
 		t.c.hTxn.Since(t.begun)
+		t.c.tracer.Finish(t.c.curTC, t.c.traceNode, t.c.curRoot, t.c.curBegun, "commit")
 		return nil
 	}
 	t.c.Stats.TxAborted.Add(1)
+	t.c.tracer.Finish(t.c.curTC, t.c.traceNode, t.c.curRoot, t.c.curBegun, "abort")
 	return ErrAborted
 }

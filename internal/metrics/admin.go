@@ -18,14 +18,37 @@ type Health struct {
 	Detail string `json:"detail,omitempty"` // human-readable cause
 }
 
+// Route mounts an extra handler on the admin mux — how the tracer's
+// /traces, /traces/slow and /debug/flightrec endpoints ride the same
+// listener without this package importing internal/trace.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
+// getOnly rejects every method but GET (and HEAD, which net/http treats
+// as GET) with 405 + Allow, per RFC 9110. All admin endpoints are
+// read-only views; anything else hitting them is a client bug.
+func getOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // AdminHandler serves the observability endpoints:
 //
 //	/metrics — Prometheus text exposition of the registry
 //	/stats   — JSON snapshot (counters, gauges, histogram percentiles)
 //	/healthz — health JSON; HTTP 503 when not OK, 200 otherwise
 //
+// plus any extra routes. Every route — including extras — is GET-only.
 // health may be nil, in which case /healthz always reports serving.
-func AdminHandler(reg *Registry, health func() Health) http.Handler {
+func AdminHandler(reg *Registry, health func() Health, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -46,7 +69,10 @@ func AdminHandler(reg *Registry, health func() Health) http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(h)
 	})
-	return mux
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
+	return getOnly(mux)
 }
 
 // AdminServer is a running admin HTTP listener (basil-server -admin-addr).
@@ -57,14 +83,14 @@ type AdminServer struct {
 
 // StartAdmin binds addr (":0" picks a free port) and serves AdminHandler
 // on it in a background goroutine until Close.
-func StartAdmin(addr string, reg *Registry, health func() Health) (*AdminServer, error) {
+func StartAdmin(addr string, reg *Registry, health func() Health, extra ...Route) (*AdminServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin: listen %s: %w", addr, err)
 	}
 	a := &AdminServer{
 		lis: lis,
-		srv: &http.Server{Handler: AdminHandler(reg, health), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: AdminHandler(reg, health, extra...), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = a.srv.Serve(lis) }()
 	return a, nil

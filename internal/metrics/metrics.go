@@ -318,7 +318,10 @@ var Nop = &Registry{nop: true}
 func (r *Registry) Enabled() bool { return r != nil && !r.nop }
 
 // labelString renders "k1=\"v1\",k2=\"v2\"" from pairs; panics on an odd
-// count (a registration-time programming error).
+// count (a registration-time programming error). Label values are
+// escaped per the Prometheus text exposition format (backslash, double
+// quote, newline), so a value like `path="/x"` cannot corrupt the
+// rendered series.
 func labelString(pairs []string) string {
 	if len(pairs)%2 != 0 {
 		panic("metrics: odd label pair count")
@@ -328,9 +331,28 @@ func labelString(pairs []string) string {
 		if i > 0 {
 			s += ","
 		}
-		s += pairs[i] + "=\"" + pairs[i+1] + "\""
+		s += pairs[i] + "=\"" + escapeLabelValue(pairs[i+1]) + "\""
 	}
 	return s
+}
+
+// escapeLabelValue applies the exposition-format escapes to a label
+// value: \ → \\, " → \", newline → \n.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
 }
 
 // register reserves name{labels}, panicking on duplicates — two metrics

@@ -46,13 +46,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			}
 			lastType = h.Name
 		}
+		// The overflow bucket (UpperNanos == MaxUint64) is NOT emitted in
+		// the loop: the mandatory +Inf bucket below already carries the
+		// total count, and emitting both would duplicate the le="+Inf"
+		// series, which the exposition format forbids.
 		cum := uint64(0)
 		for _, b := range h.Hist.Buckets {
+			if b.UpperNanos == math.MaxUint64 {
+				continue
+			}
 			cum += b.Count
 			le := strconv.FormatFloat(float64(b.UpperNanos)/1e9, 'g', -1, 64)
-			if b.UpperNanos == math.MaxUint64 {
-				le = "+Inf"
-			}
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
 				h.Name, promLabels(joinLabels(h.Labels, `le="`+le+`"`)), cum); err != nil {
 				return err

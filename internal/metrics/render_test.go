@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("updategolden", false, "rewrite testdata golden files")
+
+// TestPrometheusGolden locks the text exposition format down byte-for-byte:
+// TYPE lines once per family, label-value escaping, cumulative le buckets
+// with exactly one +Inf per series (even when the histogram's overflow
+// bucket is populated), and _sum/_count. Regenerate deliberately with
+// `go test ./internal/metrics/ -run Golden -updategolden` after a
+// renderer change.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("basil_requests_total", "kind", "read").Add(3)
+	reg.Counter("basil_requests_total", "kind", "weird\"v\\al\nue").Add(1)
+	reg.Gauge("basil_queue_depth", "shard", "0").Set(42)
+
+	s := reg.Snapshot()
+	// Hand-crafted histogram so the bucket bounds — including a populated
+	// overflow bucket, unreachable through Observe — are deterministic.
+	s.Hists = append(s.Hists, HistValue{
+		Name:   "basil_lat_seconds",
+		Labels: `op="prepare"`,
+		Hist: HistSnapshot{
+			Count:    6,
+			SumNanos: 4500,
+			Buckets: []Bucket{
+				{LowerNanos: 0, UpperNanos: 1000, Count: 1},
+				{LowerNanos: 1000, UpperNanos: 2000, Count: 2},
+				{LowerNanos: 1 << 40, UpperNanos: math.MaxUint64, Count: 3},
+			},
+		},
+	})
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -updategolden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Conformance spot-checks independent of the golden bytes.
+	if strings.Count(got, `le="+Inf"`) != 1 {
+		t.Fatalf("want exactly one +Inf bucket per series:\n%s", got)
+	}
+	if !strings.Contains(got, `kind="weird\"v\\al\nue"`) {
+		t.Fatalf("label value not escaped per exposition format:\n%s", got)
+	}
+}
+
+// TestEscapeLabelValue pins the three exposition-format escapes.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":     "plain",
+		`back\slen`: `back\\slen`,
+		`qu"ote`:    `qu\"ote`,
+		"new\nline": `new\nline`,
+		"":          "",
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Fatalf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

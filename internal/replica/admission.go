@@ -238,6 +238,7 @@ func (a *admission) admit(from transport.Addr, msg any) bool {
 	case depth > a.cap:
 		a.inflight.Add(-1)
 		a.r.Stats.Shed.Add(1)
+		a.r.frec.Note("shed", "dispatch queue full")
 		a.shedReply(from, msg, sc)
 		return false
 	case sc != nil && sc.suspect() &&
@@ -246,6 +247,7 @@ func (a *admission) admit(from transport.Addr, msg any) bool {
 		a.inflight.Add(-1)
 		a.r.Stats.Shed.Add(1)
 		a.r.Stats.ShedReputation.Add(1)
+		a.r.frec.Note("shed", "low-reputation client deprioritized")
 		a.shedReply(from, msg, sc)
 		return false
 	}

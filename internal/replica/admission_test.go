@@ -249,7 +249,7 @@ func TestReputationFedByProtocolOutcomes(t *testing.T) {
 	if rep := awaitReply(t, st1, idA); rep.Vote != types.VoteCommit {
 		t.Fatalf("first prepare voted %v", rep.Vote)
 	}
-	r.finalize(idA, a.Meta, types.DecisionCommit, &types.DecisionCert{TxID: idA, Decision: types.DecisionCommit})
+	r.finalize(idA, a.Meta, types.DecisionCommit, &types.DecisionCert{TxID: idA, Decision: types.DecisionCommit}, types.TraceContext{})
 	b := &types.ST1Request{
 		ReqID: 2, ClientID: 9,
 		Meta: &types.TxMeta{

@@ -3,6 +3,7 @@ package replica
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/types"
@@ -48,7 +49,7 @@ const (
 // group-commit wait happens under it, stalling only this transaction's
 // traffic for at most the flush window. Returns false (and mutes the
 // replica) if the record could not be made durable.
-func (r *Replica) logVoteLocked(t *txState) bool {
+func (r *Replica) logVoteLocked(t *txState, tc types.TraceContext) bool {
 	if r.wal == nil {
 		return true
 	}
@@ -57,12 +58,12 @@ func (r *Replica) logVoteLocked(t *txState) bool {
 	b = append(b, t.id[:]...)
 	b = append(b, byte(t.vote))
 	b = walMetaOpt(b, t.meta)
-	return r.walAppend(b)
+	return r.walAppend(b, tc)
 }
 
 // logDecisionLocked durably appends t's logged ST2 decision. Caller
 // holds t.mu.
-func (r *Replica) logDecisionLocked(t *txState) bool {
+func (r *Replica) logDecisionLocked(t *txState, tc types.TraceContext) bool {
 	if r.wal == nil {
 		return true
 	}
@@ -72,11 +73,11 @@ func (r *Replica) logDecisionLocked(t *txState) bool {
 	b = append(b, byte(t.decision))
 	b = binary.BigEndian.AppendUint64(b, t.viewDecision)
 	b = walMetaOpt(b, t.meta)
-	return r.walAppend(b)
+	return r.walAppend(b, tc)
 }
 
 // logFinal durably appends a proven decision before it is applied.
-func (r *Replica) logFinal(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) bool {
+func (r *Replica) logFinal(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert, tc types.TraceContext) bool {
 	if r.wal == nil {
 		return true
 	}
@@ -86,15 +87,24 @@ func (r *Replica) logFinal(id types.TxID, meta *types.TxMeta, dec types.Decision
 	b = append(b, byte(dec))
 	b = walMetaOpt(b, meta)
 	b = types.AppendDecisionCert(b, cert)
-	return r.walAppend(b)
+	return r.walAppend(b, tc)
 }
 
 // walAppend appends one record, muting the replica on failure: state may
-// then be ahead of disk, but nothing further externalizes it.
-func (r *Replica) walAppend(rec []byte) bool {
+// then be ahead of disk, but nothing further externalizes it. A sampled
+// trace context gets a span covering the append plus its group-commit
+// fsync wait. Muting dumps the flight recorder to stderr — the replica's
+// last act, so the cause survives even when nobody scrapes
+// /debug/flightrec before the restart.
+func (r *Replica) walAppend(rec []byte, tc types.TraceContext) bool {
+	wStart := r.tracer.Start(tc)
 	//nolint:basilvet — deliberate design (package doc, "locking"): promise records append under the owning transaction's t.mu so log-before-externalize holds per transaction; the group-commit wait stalls only that transaction, and t.mu is a leaf below no store or r.mu acquisition.
-	if err := r.wal.Append(rec); err != nil {
+	err := r.wal.Append(rec)
+	r.tracer.End(tc, r.traceNode, "replica.wal_append", 0, wStart)
+	if err != nil {
 		r.walFailed.Store(true)
+		r.frec.Note("mute", "wal append failed: "+err.Error())
+		r.frec.Dump(os.Stderr)
 		return false
 	}
 	return true
@@ -330,7 +340,8 @@ func (r *Replica) Checkpoint(watermark types.Timestamp) error {
 			return err
 		}
 	}
-	r.collectBelow(watermark)
+	collected := r.collectBelow(watermark)
+	r.frec.Note("checkpoint", fmt.Sprintf("wm=%d collected=%d", watermark.Time, collected))
 	return nil
 }
 
@@ -461,6 +472,8 @@ func (r *Replica) checkpointLoop() {
 			}
 			if err := r.Checkpoint(types.Timestamp{Time: now - margin}); err != nil && err != wal.ErrClosed {
 				r.walFailed.Store(true)
+				r.frec.Note("mute", "checkpoint failed: "+err.Error())
+				r.frec.Dump(os.Stderr)
 				return
 			}
 		}

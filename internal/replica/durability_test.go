@@ -172,7 +172,7 @@ func TestRestartReservesFinalizedOutcome(t *testing.T) {
 	awaitReply(t, st1, id)
 	// Finalize directly (a full valid cert needs a whole shard; the
 	// replica's own finalize path is what logs the record).
-	r.finalize(id, m.Meta, types.DecisionCommit, nil)
+	r.finalize(id, m.Meta, types.DecisionCommit, nil, types.TraceContext{})
 	r.Close()
 
 	r2, err := Restore(cfg, dir)
@@ -204,7 +204,7 @@ func TestRestartFromCheckpoint(t *testing.T) {
 	mOld := st1For("old", 10)
 	r.Deliver(client, mOld)
 	awaitReply(t, st1, mOld.Meta.ID())
-	r.finalize(mOld.Meta.ID(), mOld.Meta, types.DecisionCommit, nil)
+	r.finalize(mOld.Meta.ID(), mOld.Meta, types.DecisionCommit, nil, types.TraceContext{})
 
 	mPrep := st1For("prep", 50)
 	idPrep := mPrep.Meta.ID()

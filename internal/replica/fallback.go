@@ -36,6 +36,7 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 		return // the divergent case touches only the logging shard
 	}
 	r.Stats.FallbackInvoke.Add(1)
+	r.frec.Note("fallback", "invoke received")
 
 	// Resurrection guard (lifecycle.go): recovery of a collected
 	// transaction is answered from the store's finalized table; a
@@ -113,7 +114,7 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 			t.decision = m.Decision
 			t.decisionLogged = true
 			t.viewDecision = 0
-			if !r.logDecisionLocked(t) {
+			if !r.logDecisionLocked(t, m.TC) {
 				t.decisionLogged = false
 				t.mu.Unlock()
 				return
@@ -135,6 +136,7 @@ func (r *Replica) onInvokeFB(from transport.Addr, m *types.InvokeFB) {
 	leader := r.leaderFor(m.TxID, t.viewCurrent)
 	r.Stats.Elections.Add(1)
 	t.mu.Unlock()
+	r.frec.Note("election", "elect-fb ballot cast")
 
 	r.signThen(ballot.Payload(), func(sig types.Signature) {
 		ballot.Sig = sig
@@ -305,7 +307,8 @@ func (r *Replica) onDecFB(_ transport.Addr, m *types.DecFB) {
 	t.decision = m.Decision
 	t.decisionLogged = true
 	t.viewDecision = m.View
-	if !r.logDecisionLocked(t) {
+	// A DecFB is replica-to-replica traffic with no carrier context.
+	if !r.logDecisionLocked(t, types.TraceContext{}) {
 		t.decision, t.decisionLogged, t.viewDecision = prevDec, prevLogged, prevViewDec
 		t.mu.Unlock()
 		return

@@ -266,6 +266,7 @@ func (r *Replica) collectBelow(wm types.Timestamp) int {
 				t.meta.Timestamp.Less(wm) && !t.abandonCharged {
 				t.abandonCharged = true
 				r.adm.noteAbandoned(t.meta.Timestamp.ClientID)
+				r.frec.Note("reputation", "abandon charged (prepared past watermark)")
 			}
 			t.mu.Unlock()
 			continue
@@ -275,6 +276,7 @@ func (r *Replica) collectBelow(wm types.Timestamp) int {
 			// abandoned it past the watermark (held locks hostage until GC).
 			t.abandonCharged = true
 			r.adm.noteAbandoned(t.meta.Timestamp.ClientID)
+			r.frec.Note("reputation", "abandon charged (collected unfinished)")
 		}
 		r.flushVoteWaitersLocked(t) // answers iff the vote resolved
 		t.voteWaiters.take()

@@ -98,7 +98,7 @@ func TestCollectedDuplicateServedFromStore(t *testing.T) {
 		t.Fatalf("setup vote: %v", rep.Vote)
 	}
 	cert := &types.DecisionCert{TxID: id, Decision: types.DecisionCommit}
-	r.finalize(id, m.Meta, types.DecisionCommit, cert)
+	r.finalize(id, m.Meta, types.DecisionCommit, cert, types.TraceContext{})
 
 	if err := r.Checkpoint(types.Timestamp{Time: 1000}); err != nil {
 		t.Fatalf("checkpoint: %v", err)
@@ -177,7 +177,7 @@ func TestCheckpointCollectsOnlyFinishedState(t *testing.T) {
 		r.Deliver(client, m)
 		awaitReply(t, st1, id)
 		r.finalize(id, m.Meta, types.DecisionCommit,
-			&types.DecisionCert{TxID: id, Decision: types.DecisionCommit})
+			&types.DecisionCert{TxID: id, Decision: types.DecisionCommit}, types.TraceContext{})
 	}
 	mPrep := st1For("prep", 50)
 	idPrep := mPrep.Meta.ID()

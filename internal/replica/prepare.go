@@ -90,7 +90,7 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 
 	// The check touches only the store (stripe-locked) — no protocol lock
 	// is held while it runs.
-	vote, conflict, conflictMeta, blockedBy, pendingDeps, depAborted := r.runCheck(m.Meta, id)
+	vote, conflict, conflictMeta, blockedBy, pendingDeps, depAborted := r.runCheck(m.Meta, id, m.TC)
 
 	t.mu.Lock()
 	if t.voteReady {
@@ -120,7 +120,7 @@ func (r *Replica) onST1(from transport.Addr, m *types.ST1Request) {
 		r.store.RemovePrepared(id)
 		vote = types.VoteAbort
 	}
-	r.finishVoteLocked(t, vote, conflict, conflictMeta)
+	r.finishVoteLocked(t, vote, conflict, conflictMeta, m.TC)
 	if t.blockedBy == nil {
 		t.blockedBy = blockedBy
 	}
@@ -180,7 +180,7 @@ func (r *Replica) registerDeps(id types.TxID, deps []types.TxID) {
 // runCheck performs Algorithm 1 lines 1–14 and classifies dependencies.
 // It returns the tentative vote, optional conflict evidence, the set of
 // still-undecided dependencies, and whether any dependency already aborted.
-func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *types.DecisionCert, *types.TxMeta, *types.TxMeta, []types.TxID, bool) {
+func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID, tc types.TraceContext) (types.Vote, *types.DecisionCert, *types.TxMeta, *types.TxMeta, []types.TxID, bool) {
 	// Line 1: timestamp admission.
 	if !r.withinDelta(meta.Timestamp) {
 		return types.VoteAbort, nil, nil, nil, nil, false
@@ -203,7 +203,9 @@ func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *type
 		}
 	}
 	// Lines 5–14: serializability checks + prepare.
+	ckStart := r.tracer.Start(tc)
 	res := r.store.CheckAndPrepare(meta, id)
+	r.tracer.End(tc, r.traceNode, "replica.check", 0, ckStart)
 	switch res.Outcome {
 	case store.CheckMisbehavior:
 		r.Stats.Misbehavior.Add(1)
@@ -223,7 +225,7 @@ func (r *Replica) runCheck(meta *types.TxMeta, id types.TxID) (types.Vote, *type
 // under t.mu, and every reply path reads the vote under the same lock,
 // so a vote that reaches the wire is always already on disk. Caller
 // holds t.mu.
-func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.DecisionCert, conflictMeta *types.TxMeta) {
+func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.DecisionCert, conflictMeta *types.TxMeta, tc types.TraceContext) {
 	if t.voteReady || vote == types.VoteNone {
 		if !t.voteReady && vote == types.VoteNone {
 			// Duplicate outcome without a stored vote can only happen if
@@ -253,7 +255,7 @@ func (r *Replica) finishVoteLocked(t *txState, vote types.Vote, conflict *types.
 	t.voteReady = true
 	t.voteConflict = conflict
 	t.conflictMeta = conflictMeta
-	if !r.logVoteLocked(t) {
+	if !r.logVoteLocked(t, tc) {
 		// The promise never reached disk; withdraw it so no reply is
 		// sent. The replica is mute from here on (fail-stop).
 		t.vote, t.voteReady = types.VoteNone, false
@@ -358,7 +360,10 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 		}
 	}
 	if !r.cfg.AllowUnvalidatedST2 && !r.decisionLoggedFor(m.TxID) {
-		if err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies); err != nil {
+		vfStart := r.tracer.Start(m.TC)
+		err := r.qv.VerifyTallyJustifies(m.Meta, m.Decision, m.Tallies)
+		r.tracer.End(m.TC, r.traceNode, "replica.verify", 0, vfStart)
+		if err != nil {
 			return
 		}
 	}
@@ -372,7 +377,7 @@ func (r *Replica) onST2(from transport.Addr, m *types.ST2Request) {
 		t.decision = m.Decision
 		t.decisionLogged = true
 		t.viewDecision = m.View
-		if !r.logDecisionLocked(t) {
+		if !r.logDecisionLocked(t, m.TC) {
 			// Never acknowledge a decision that is not on disk.
 			t.decisionLogged = false
 			t.mu.Unlock()
@@ -442,11 +447,14 @@ func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
 			return
 		}
 	}
-	if err := r.qv.VerifyDecisionCert(m.Cert, m.Meta); err != nil {
+	vfStart := r.tracer.Start(m.TC)
+	err := r.qv.VerifyDecisionCert(m.Cert, m.Meta)
+	r.tracer.End(m.TC, r.traceNode, "replica.verify", 0, vfStart)
+	if err != nil {
 		return
 	}
 	r.Stats.Writebacks.Add(1)
-	r.finalize(m.TxID, m.Meta, m.Decision, m.Cert)
+	r.finalize(m.TxID, m.Meta, m.Decision, m.Cert, m.TC)
 }
 
 // finalize records a proven decision, updates the store, and resolves
@@ -454,13 +462,13 @@ func (r *Replica) onWriteback(_ transport.Addr, m *types.WritebackRequest) {
 // logged before anything is applied or replied — WAL discipline — so a
 // restarted replica rejoins with every finalized outcome it ever acted
 // on.
-func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert) {
+func (r *Replica) finalize(id types.TxID, meta *types.TxMeta, dec types.Decision, cert *types.DecisionCert, tc types.TraceContext) {
 	// The log-then-apply pair is fenced against checkpoint rotation
 	// (Replica.applyMu): a checkpoint that rotated after our record was
 	// appended waits for the store apply before snapshotting, so the
 	// outcome is always in the kept suffix or in the snapshot.
 	r.applyMu.RLock()
-	if !r.logFinal(id, meta, dec, cert) {
+	if !r.logFinal(id, meta, dec, cert, tc) {
 		r.applyMu.RUnlock()
 		return // mute: the outcome never reached disk
 	}
@@ -540,6 +548,8 @@ func (r *Replica) resolveDependency(waiter, dep types.TxID, dec types.Decision) 
 		r.store.RemovePrepared(waiter)
 		vote = types.VoteAbort
 	}
-	r.finishVoteLocked(t, vote, nil, nil)
+	// Dependency resolution happens long after the triggering request, so
+	// there is no carrier context to attribute the vote to.
+	r.finishVoteLocked(t, vote, nil, nil, types.TraceContext{})
 	r.flushVoteWaitersLocked(t)
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/wal"
@@ -119,6 +120,13 @@ type Config struct {
 	// Replica.Metrics; pass metrics.Nop to disable instrumentation
 	// entirely (benchmark baselines).
 	Metrics *metrics.Registry
+
+	// Tracer, if non-nil, records this replica's pipeline spans
+	// (dispatch-queue wait, MVTSO check, quorum verification, WAL
+	// group-commit wait) for transactions whose requests carry a sampled
+	// trace context. Nil disables span recording; the unsampled path is
+	// a single branch either way.
+	Tracer *trace.Tracer
 }
 
 // ByzantineStrategy lets the fault harness corrupt a replica's visible
@@ -278,6 +286,14 @@ type Replica struct {
 	// on it (see metrics.go). Both are fixed at construction.
 	reg *metrics.Registry
 	mx  replicaMetrics
+
+	// tracer/traceNode record pipeline spans for sampled transactions;
+	// frec is the always-on flight recorder of infrequent control-plane
+	// events (sheds, reputation actions, checkpoints, mute cause), dumped
+	// to stderr when the replica mutes and served at /debug/flightrec.
+	tracer    *trace.Tracer
+	traceNode string
+	frec      *trace.FlightRecorder
 }
 
 // New constructs and registers a replica on cfg.Net. With a DataDir it
@@ -327,6 +343,9 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 		ckptStop:   make(chan struct{}),
 	}
 	r.shardAddrs = transport.ShardAddrs(cfg.Shard, r.qc.N())
+	r.tracer = cfg.Tracer
+	r.traceNode = fmt.Sprintf("r%d.%d", cfg.Shard, cfg.Index)
+	r.frec = trace.NewFlightRecorder(r.traceNode, 0)
 	r.adm = newAdmission(r, cfg.DispatchQueue)
 	r.batcher = cryptoutil.NewBatchSigner(r.signer, cfg.BatchSize, cfg.BatchDelay)
 	r.qv = &quorum.Verifier{Cfg: r.qc, Sigs: r.sv, SignerOf: cfg.SignerOf, Pool: r.pool}
@@ -357,6 +376,7 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 	}
 	// Register only after replay: no message may race the rebuild.
 	cfg.Net.Register(r.addr, r)
+	r.frec.Note("start", "serving")
 	if cfg.CheckpointEvery > 0 {
 		r.ckptWG.Add(1)
 		go r.checkpointLoop()
@@ -369,6 +389,10 @@ func (r *Replica) Addr() transport.Addr { return r.addr }
 
 // Store exposes the underlying store (examples, tests, GC drivers).
 func (r *Replica) Store() *store.Store { return r.store }
+
+// FlightRecorder exposes the replica's event ring (serve it with
+// trace.FlightHandler, or snapshot it in tests and postmortems).
+func (r *Replica) FlightRecorder() *trace.FlightRecorder { return r.frec }
 
 // Close drains the ingest pool (every in-flight handler completes, so no
 // one is left blocked inside a WAL append), flushes the reply batcher,
@@ -410,8 +434,18 @@ func (r *Replica) Deliver(from transport.Addr, msg any) {
 	if !r.adm.admit(from, msg) {
 		return
 	}
+	// Dispatch-queue wait: from admission to a pool worker picking the
+	// message up. enq stays 0 — no clock read — unless the message
+	// carries a sampled trace context.
+	var tc types.TraceContext
+	var enq int64
+	if r.tracer != nil {
+		tc = types.TraceContextOf(msg)
+		enq = r.tracer.Start(tc)
+	}
 	if !r.pool.Go(func() {
 		defer r.adm.release()
+		r.tracer.End(tc, r.traceNode, "replica.dispatch_wait", 0, enq)
 		r.dispatch(from, msg)
 	}) {
 		r.adm.release() // pool closed under us; the slot must not leak

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one entry in a replica's flight recorder: a timestamped,
+// categorized note about an infrequent state change (shed, reputation
+// action, checkpoint, mute...). Events are deliberately coarse — the
+// recorder exists so a postmortem can reconstruct *why* a replica acted,
+// not to log per-transaction traffic.
+type Event struct {
+	At     int64  `json:"at_unix_ns"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// FlightRecorder is a bounded lock-free overwrite ring of Events, one per
+// replica. It records only infrequent control-plane transitions, so its
+// cost is invisible on the data path; its contents are served at
+// /debug/flightrec and dumped automatically when the replica mutes.
+// A nil *FlightRecorder ignores all calls.
+type FlightRecorder struct {
+	name  string
+	clock func() int64
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// NewFlightRecorder builds a recorder labeled name (e.g. "r0.2") holding
+// the last size events (default 1024).
+func NewFlightRecorder(name string, size int) *FlightRecorder {
+	if size <= 0 {
+		size = 1024
+	}
+	return &FlightRecorder{
+		name:  name,
+		clock: func() int64 { return time.Now().UnixNano() },
+		slots: make([]atomic.Pointer[Event], size),
+	}
+}
+
+// Note records one event. Safe on a nil recorder and from any goroutine.
+func (f *FlightRecorder) Note(kind, detail string) {
+	if f == nil {
+		return
+	}
+	e := &Event{At: f.clock(), Kind: kind, Detail: detail}
+	i := f.next.Add(1) - 1
+	f.slots[i%uint64(len(f.slots))].Store(e)
+}
+
+// Name returns the recorder's label.
+func (f *FlightRecorder) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Snapshot returns the recorded events, oldest first.
+func (f *FlightRecorder) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	n := uint64(len(f.slots))
+	head := f.next.Load()
+	out := make([]Event, 0, n)
+	for off := uint64(0); off < n; off++ {
+		if e := f.slots[(head+off)%n].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable transcript of the ring — the automatic
+// last act of a replica that mutes, so the cause survives in the log
+// even if nobody scrapes /debug/flightrec before restart.
+func (f *FlightRecorder) Dump(w io.Writer) {
+	if f == nil {
+		return
+	}
+	events := f.Snapshot()
+	fmt.Fprintf(w, "flightrec %s: %d events\n", f.name, len(events))
+	for _, e := range events {
+		fmt.Fprintf(w, "  %s %-12s %s\n",
+			time.Unix(0, e.At).UTC().Format("15:04:05.000000"), e.Kind, e.Detail)
+	}
+}

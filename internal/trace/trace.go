@@ -1,0 +1,335 @@
+// Package trace is the sampling distributed tracer behind the admin
+// server's /traces endpoints. A transaction is sampled once, at client
+// Begin, and the decision rides the wire as types.TraceContext on every
+// carrier request, so client, transport and replica stages of one
+// transaction share a trace id without any cross-process coordination.
+// Components record completed spans into a bounded lock-free ring; span
+// trees are assembled only at query time, so the record path never takes
+// a lock and the unsampled path never reads the clock or allocates.
+//
+// Beyond probabilistic sampling, a transaction that hits a shed
+// (Overloaded), client recovery, or the fallback protocol is *force*
+// captured: the client upgrades its context mid-flight and records a
+// trace.forced marker span, so the traces an operator most needs — the
+// tail — are always present regardless of the sampling rate.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Span is one completed, named interval of a traced transaction. Spans
+// are recorded after the fact (no open-span handle, nothing to close on
+// error paths) and carry their parent by span id; Parent 0 attaches the
+// span to the trace's root. The root span itself is recorded by Finish
+// under the name RootSpan.
+type Span struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64
+	Name    string
+	Node    string // recording component, e.g. "r0.2" or "c7"
+	Start   int64  // UnixNano
+	End     int64  // UnixNano
+	Attrs   string // optional "k=v" detail, single string to avoid map allocs
+}
+
+// RootSpan is the span name Finish records for the whole transaction;
+// the HTTP renderers treat it as the tree root.
+const RootSpan = "txn"
+
+// Options configures a Tracer. The zero value is usable: sampling off,
+// default ring and top-K sizes.
+type Options struct {
+	// SampleRate is the probability in [0,1] that Begin samples a new
+	// transaction. Forced capture (Force) ignores it.
+	SampleRate float64
+	// RingSize bounds the completed-span ring (default 4096 spans).
+	RingSize int
+	// TopK bounds the slowest-transaction index served at /traces/slow
+	// (default 32).
+	TopK int
+	// Clock overrides the span clock (tests); default time.Now().UnixNano.
+	Clock func() int64
+}
+
+// Tracer records spans for sampled transactions. All methods are safe
+// for concurrent use and nil-safe: a nil *Tracer samples nothing and
+// records nothing, so call sites need no tracing-enabled branches.
+type Tracer struct {
+	rate  float64
+	clock func() int64
+	seed  uint64
+	seq   atomic.Uint64 // trace id source
+	spans atomic.Uint64 // span id source
+	ring  spanRing
+
+	// mu guards the slow top-K heap only — never held on the span record
+	// path, and a leaf: nothing is called while holding it.
+	mu   sync.Mutex
+	slow []SlowEntry // min-heap by DurNanos, capacity topK
+	topK int
+}
+
+// SlowEntry summarizes one finished transaction in the top-K-by-duration
+// index behind /traces/slow.
+type SlowEntry struct {
+	TraceID  uint64 `json:"-"`
+	Trace    string `json:"trace_id"` // hex form of TraceID
+	DurNanos int64  `json:"dur_ns"`
+	Status   string `json:"status"`
+	End      int64  `json:"end_unix_ns"`
+}
+
+// New builds a Tracer with the given options.
+func New(o Options) *Tracer {
+	if o.RingSize <= 0 {
+		o.RingSize = 4096
+	}
+	if o.TopK <= 0 {
+		o.TopK = 32
+	}
+	if o.Clock == nil {
+		o.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	t := &Tracer{
+		rate:  o.SampleRate,
+		clock: o.Clock,
+		seed:  uint64(time.Now().UnixNano()) | 1,
+		topK:  o.TopK,
+	}
+	t.ring.init(o.RingSize)
+	return t
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, stateless mixer that
+// turns the sequential trace counter into well-distributed ids, which
+// double as the sampling coin.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Begin makes the sampling decision for a new transaction and returns
+// its wire context plus the root span id the client parents its
+// lifecycle spans under. The trace id is assigned even when unsampled so
+// a later Force can upgrade the same transaction without re-keying.
+// Alloc-free on every path.
+func (t *Tracer) Begin() (types.TraceContext, uint64) {
+	if t == nil {
+		return types.TraceContext{}, 0
+	}
+	id := splitmix64(t.seq.Add(1) ^ t.seed)
+	tc := types.TraceContext{TraceID: id}
+	if t.rate >= 1 {
+		tc.Sampled = true
+	} else if t.rate > 0 {
+		// Use the top 53 bits of the id as the sampling coin.
+		tc.Sampled = float64(id>>11)/(1<<53) < t.rate
+	}
+	return tc, t.spans.Add(1)
+}
+
+// Now reads the tracer's clock (the fake one in tests): the begun anchor
+// a client takes at transaction start so a mid-flight Force still yields
+// a root span with a real start time. Returns 0 on a nil tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Force upgrades tc to sampled (no-op if it already is) and records a
+// trace.forced marker span naming the reason ("overload", "recovery",
+// "fallback"), so forced traces are distinguishable from lucky ones.
+func (t *Tracer) Force(tc *types.TraceContext, node, reason string) {
+	if t == nil || tc == nil || tc.TraceID == 0 {
+		return
+	}
+	if !tc.Sampled {
+		tc.Sampled = true
+	}
+	now := t.clock()
+	t.put(&Span{
+		TraceID: tc.TraceID, SpanID: t.spans.Add(1),
+		Name: "trace.forced", Node: node,
+		Start: now, End: now, Attrs: "reason=" + reason,
+	})
+}
+
+// Start returns the span start timestamp, or 0 when the transaction is
+// unsampled (or the tracer nil) — the unsampled path is a single branch
+// with no clock read and no allocation. Pass the result to End.
+func (t *Tracer) Start(tc types.TraceContext) int64 {
+	if t == nil || !tc.Sampled {
+		return 0
+	}
+	return t.clock()
+}
+
+// End completes a span opened by Start. A zero start (unsampled) is a
+// no-op, so call sites never branch on sampling themselves.
+func (t *Tracer) End(tc types.TraceContext, node, name string, parent uint64, start int64) {
+	if start == 0 || t == nil {
+		return
+	}
+	t.Record(tc, node, name, parent, start, t.clock())
+}
+
+// Record stores a completed span with explicit endpoints — for stages
+// whose timestamps were captured elsewhere (e.g. a frame's enqueue time
+// measured in the sender but recorded after the flush). No-op when start
+// is 0 or the context is unsampled.
+func (t *Tracer) Record(tc types.TraceContext, node, name string, parent uint64, start, end int64) {
+	if t == nil || start == 0 || !tc.Sampled {
+		return
+	}
+	t.put(&Span{
+		TraceID: tc.TraceID, SpanID: t.spans.Add(1), Parent: parent,
+		Name: name, Node: node, Start: start, End: end,
+	})
+}
+
+// Finish seals a sampled transaction: records the root span (from the
+// begun timestamp taken at Begin time) and feeds the top-K slow index.
+// status is free-form ("commit", "abort", "failed").
+func (t *Tracer) Finish(tc types.TraceContext, node string, root uint64, begun int64, status string) {
+	if t == nil || !tc.Sampled || begun == 0 {
+		return
+	}
+	end := t.clock()
+	t.put(&Span{
+		TraceID: tc.TraceID, SpanID: root,
+		Name: RootSpan, Node: node, Start: begun, End: end,
+		Attrs: "status=" + status,
+	})
+	t.noteSlow(SlowEntry{
+		TraceID: tc.TraceID, Trace: hexID(tc.TraceID),
+		DurNanos: end - begun, Status: status, End: end,
+	})
+}
+
+// put stores a completed span in the ring.
+func (t *Tracer) put(s *Span) { t.ring.put(s) }
+
+// Spans snapshots the completed-span ring, oldest first.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.ring.snapshot()
+}
+
+// Slow returns the top-K slowest finished transactions, slowest first.
+func (t *Tracer) Slow() []SlowEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SlowEntry, len(t.slow))
+	copy(out, t.slow)
+	t.mu.Unlock()
+	// The heap is min-first; present slowest first.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DurNanos > out[j-1].DurNanos; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// noteSlow offers a finished transaction to the bounded min-heap of the
+// slowest seen so far.
+func (t *Tracer) noteSlow(e SlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.slow) < t.topK {
+		t.slow = append(t.slow, e)
+		t.siftUp(len(t.slow) - 1)
+		return
+	}
+	if e.DurNanos <= t.slow[0].DurNanos {
+		return
+	}
+	t.slow[0] = e
+	t.siftDown(0)
+}
+
+func (t *Tracer) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.slow[p].DurNanos <= t.slow[i].DurNanos {
+			return
+		}
+		t.slow[p], t.slow[i] = t.slow[i], t.slow[p]
+		i = p
+	}
+}
+
+func (t *Tracer) siftDown(i int) {
+	n := len(t.slow)
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < n && t.slow[l].DurNanos < t.slow[min].DurNanos {
+			min = l
+		}
+		if r < n && t.slow[r].DurNanos < t.slow[min].DurNanos {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.slow[i], t.slow[min] = t.slow[min], t.slow[i]
+		i = min
+	}
+}
+
+// spanRing is a bounded lock-free overwrite ring of completed spans:
+// writers claim a slot with one atomic add and store a pointer; readers
+// snapshot by loading every slot. Overwrites lose the oldest spans, which
+// is the intended behavior for a recent-traces window.
+type spanRing struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+func (r *spanRing) init(n int) { r.slots = make([]atomic.Pointer[Span], n) }
+
+func (r *spanRing) put(s *Span) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// snapshot returns the live spans oldest-slot-first. Ordering across a
+// wrap is approximate (concurrent writers), which is fine for grouping
+// by trace id at render time.
+func (r *spanRing) snapshot() []*Span {
+	n := uint64(len(r.slots))
+	head := r.next.Load()
+	out := make([]*Span, 0, n)
+	for off := uint64(0); off < n; off++ {
+		if s := r.slots[(head+off)%n].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hexID formats a trace id as 16 lowercase hex digits without fmt.
+func hexID(id uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}

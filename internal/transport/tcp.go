@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -84,6 +85,8 @@ type TCP struct {
 	// instrumentation is off. dialDrops is guarded by mu.
 	reg       *metrics.Registry
 	dialDrops map[string]*metrics.Counter
+	// tracer records per-frame queueing-delay spans; nil-safe.
+	tracer *trace.Tracer
 }
 
 // tcpMetrics are the transport's instrument handles; see TCPOptions.Metrics.
@@ -181,6 +184,10 @@ type TCPOptions struct {
 	// (frames/bytes in and out, dials and backoff drops, broadcast
 	// fanout) on the given registry. Nil disables instrumentation.
 	Metrics *metrics.Registry
+	// Tracer, if non-nil, records a "net.queue" span (enqueue to socket
+	// write — the frame's queueing delay) for frames whose message
+	// carries a sampled trace context. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (o *TCPOptions) withDefaults() {
@@ -212,6 +219,11 @@ const frameHdrSize = 4 + 2*addrWireSize
 type wireFrame struct {
 	hdr  [frameHdrSize]byte
 	body []byte
+	// tc and enq attribute this frame's queueing delay to a sampled
+	// transaction; enq is 0 on the common (unsampled) path and the
+	// writer skips the span entirely.
+	tc  types.TraceContext
+	enq int64
 }
 
 // makeFrame stamps the per-destination header onto a shared body.
@@ -390,6 +402,7 @@ func NewTCPOpts(listen string, book map[Addr]string, opts TCPOptions) (*TCP, err
 		down:     make(map[string]time.Time),
 		mx:       initTCPMetrics(opts.Metrics),
 		reg:      opts.Metrics,
+		tracer:   opts.Tracer,
 	}
 	if t.reg != nil {
 		t.dialDrops = make(map[string]*metrics.Counter)
@@ -520,6 +533,10 @@ func (t *TCP) adopt(raw net.Conn, hostport string) (*tcpConn, bool) {
 func (t *TCP) writeLoop(c *tcpConn) {
 	defer t.wg.Done()
 	bw := bufio.NewWriterSize(c.c, t.opts.BufSize)
+	node := "net:" + c.hostport
+	if c.hostport == "" {
+		node = "net:reverse"
+	}
 	write := func(frame wireFrame) bool {
 		if _, err := bw.Write(frame.hdr[:]); err != nil {
 			return false
@@ -529,6 +546,9 @@ func (t *TCP) writeLoop(c *tcpConn) {
 		}
 		t.mx.framesOut.Inc()
 		t.mx.bytesOut.Add(uint64(len(frame.hdr) + len(frame.body)))
+		if frame.enq != 0 {
+			t.tracer.End(frame.tc, node, "net.queue", 0, frame.enq)
+		}
 		return true
 	}
 	for {
@@ -676,6 +696,8 @@ func (t *TCP) SendAll(from Addr, tos []Addr, msg any) int {
 	}
 	sent := 0
 	var body []byte
+	var tc types.TraceContext
+	var enq int64
 	unencodable := false
 	for _, to := range tos {
 		t.mu.Lock()
@@ -707,8 +729,14 @@ func (t *TCP) SendAll(from Addr, tos []Addr, msg any) int {
 				body, unencodable = nil, true
 				continue
 			}
+			if t.tracer != nil {
+				tc = types.TraceContextOf(msg)
+				enq = t.tracer.Start(tc) // 0 unless sampled
+			}
 		}
-		switch t.enqueue(conn, makeFrame(from, to, body)) {
+		frame := makeFrame(from, to, body)
+		frame.tc, frame.enq = tc, enq
+		switch t.enqueue(conn, frame) {
 		case enqQueued:
 			sent++
 		case enqDroppedDialing:

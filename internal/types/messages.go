@@ -61,6 +61,9 @@ type ReadRequest struct {
 	ClientID uint64
 	Key      string
 	Ts       Timestamp
+	// TC is the advisory trace context (tracectx.go); unsampled contexts
+	// add no wire bytes.
+	TC TraceContext
 }
 
 // CommittedRead is a replica's committed branch of a read reply. Version
@@ -149,6 +152,8 @@ type ST1Request struct {
 	ClientID uint64
 	Meta     *TxMeta
 	Recovery bool
+	// TC is the advisory trace context (tracectx.go).
+	TC TraceContext
 }
 
 // RPKind tells which artifact an RP reply fast-forwards the client to.
@@ -222,6 +227,8 @@ type ST2Request struct {
 	Decision Decision
 	Tallies  []VoteTally
 	View     uint64
+	// TC is the advisory trace context (tracectx.go).
+	TC TraceContext
 }
 
 // ST2Reply acknowledges a logged decision (paper §4.2 step 6). ViewDecision
@@ -298,6 +305,8 @@ type WritebackRequest struct {
 	Decision Decision
 	Cert     *DecisionCert
 	Meta     *TxMeta
+	// TC is the advisory trace context (tracectx.go).
+	TC TraceContext
 }
 
 // Overloaded is a replica's explicit load-shed reply: the admission queue
@@ -327,6 +336,8 @@ type InvokeFB struct {
 	ST2Rs    []ST2Reply
 	Decision Decision
 	Tallies  []VoteTally
+	// TC is the advisory trace context (tracectx.go).
+	TC TraceContext
 }
 
 // ElectFB is a replica's leader-election ballot for a transaction's

@@ -1,0 +1,70 @@
+package types
+
+// TraceContext is the wire-propagated distributed-tracing context
+// (internal/trace). A client stamps it on a transaction at Begin —
+// probabilistically sampled, or force-sampled when the transaction hits a
+// shed, recovery or fallback — and every carrier request (ReadRequest,
+// ST1Request, ST2Request, WritebackRequest, InvokeFB) forwards it so
+// replicas can attribute their pipeline stages to the originating
+// transaction. It is advisory and unsigned: a forged context can only
+// pollute a bounded trace ring, never influence a protocol decision.
+//
+// Wire form: an unsampled context encodes to NOTHING — the message bytes
+// are exactly the pre-tracing encoding, so the common path pays zero bytes
+// and signature payloads never change. A sampled context appends a small
+// trailer (marker byte + trace id) after the message's canonical fields;
+// the decoder consumes it because a transport frame carries exactly one
+// message, so any trailing bytes belong to the trailer or the frame is
+// malformed.
+type TraceContext struct {
+	TraceID uint64
+	Sampled bool
+}
+
+// traceTrailerMark introduces the sampled-trace trailer after a carrier
+// message's canonical fields.
+const traceTrailerMark = 0x54 // 'T'
+
+// traceTrailerSize is the encoded trailer length: marker + trace id.
+const traceTrailerSize = 1 + 8
+
+// appendTraceTrailer appends the sampled-trace trailer; unsampled contexts
+// append nothing, keeping common-path frames byte-identical to the
+// pre-tracing encoding.
+func appendTraceTrailer(b []byte, tc TraceContext) []byte {
+	if !tc.Sampled {
+		return b
+	}
+	b = append(b, traceTrailerMark)
+	return appendU64(b, tc.TraceID)
+}
+
+// traceTrailer consumes an optional sampled-trace trailer from the
+// remaining input. Absence is the common case and leaves the decoder
+// untouched.
+func (d *decoder) traceTrailer() TraceContext {
+	if d.err != nil || len(d.b) < traceTrailerSize || d.b[0] != traceTrailerMark {
+		return TraceContext{}
+	}
+	d.b = d.b[1:]
+	return TraceContext{TraceID: d.u64(), Sampled: true}
+}
+
+// TraceContextOf extracts the trace context carried by msg; the zero
+// context for non-carrier messages. Used by transports to attribute
+// queueing delay without knowing message internals.
+func TraceContextOf(msg any) TraceContext {
+	switch m := msg.(type) {
+	case *ReadRequest:
+		return m.TC
+	case *ST1Request:
+		return m.TC
+	case *ST2Request:
+		return m.TC
+	case *WritebackRequest:
+		return m.TC
+	case *InvokeFB:
+		return m.TC
+	}
+	return TraceContext{}
+}

@@ -45,6 +45,7 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		b = appendU64(b, m.ClientID)
 		b = appendString(b, m.Key)
 		b = m.Ts.AppendCanonical(b)
+		b = appendTraceTrailer(b, m.TC)
 	case *ReadReply:
 		b = append(b, byte(MsgReadReply))
 		b = appendU64(b, m.ReqID)
@@ -68,6 +69,7 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		b = appendU64(b, m.ClientID)
 		b = appendTxMetaOpt(b, m.Meta)
 		b = appendBool(b, m.Recovery)
+		b = appendTraceTrailer(b, m.TC)
 	case *ST1Reply:
 		b = append(b, byte(MsgST1Reply))
 		b = appendST1Reply(b, m)
@@ -83,6 +85,7 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 			b = appendVoteTally(b, &m.Tallies[i])
 		}
 		b = appendU64(b, m.View)
+		b = appendTraceTrailer(b, m.TC)
 	case *ST2Reply:
 		b = append(b, byte(MsgST2Reply))
 		b = appendST2Reply(b, m)
@@ -93,6 +96,7 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		b = append(b, byte(m.Decision))
 		b = appendDecisionCertOpt(b, m.Cert)
 		b = appendTxMetaOpt(b, m.Meta)
+		b = appendTraceTrailer(b, m.TC)
 	case *InvokeFB:
 		b = append(b, byte(MsgInvokeFB))
 		b = appendU64(b, m.ReqID)
@@ -108,6 +112,7 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		for i := range m.Tallies {
 			b = appendVoteTally(b, &m.Tallies[i])
 		}
+		b = appendTraceTrailer(b, m.TC)
 	case *Overloaded:
 		b = append(b, byte(MsgOverloaded))
 		b = appendU64(b, m.ReqID)
@@ -146,7 +151,9 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 	var msg any
 	switch tag {
 	case MsgRead:
-		msg = &ReadRequest{ReqID: d.u64(), ClientID: d.u64(), Key: d.str(), Ts: d.ts()}
+		m := &ReadRequest{ReqID: d.u64(), ClientID: d.u64(), Key: d.str(), Ts: d.ts()}
+		m.TC = d.traceTrailer()
+		msg = m
 	case MsgReadReply:
 		m := &ReadReply{ReqID: d.u64(), Key: d.str(),
 			ShardID: int32(d.u32()), ReplicaID: int32(d.u32())}
@@ -162,8 +169,10 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 		}
 		msg = m
 	case MsgST1:
-		msg = &ST1Request{ReqID: d.u64(), ClientID: d.u64(),
+		m := &ST1Request{ReqID: d.u64(), ClientID: d.u64(),
 			Meta: d.txMetaOpt(), Recovery: d.bool()}
+		m.TC = d.traceTrailer()
+		msg = m
 	case MsgST1Reply:
 		msg = d.st1Reply(0)
 	case MsgST2:
@@ -175,6 +184,7 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 			m.Tallies = append(m.Tallies, d.voteTally(0))
 		}
 		m.View = d.u64()
+		m.TC = d.traceTrailer()
 		msg = m
 	case MsgST2Reply:
 		msg = d.st2Reply()
@@ -183,6 +193,7 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 			Decision: Decision(d.u8())}
 		m.Cert = d.decisionCertOpt(0)
 		m.Meta = d.txMetaOpt()
+		m.TC = d.traceTrailer()
 		msg = m
 	case MsgInvokeFB:
 		m := &InvokeFB{ReqID: d.u64(), ClientID: d.u64(), TxID: d.txid()}
@@ -196,6 +207,7 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 		for i := 0; i < n && d.err == nil; i++ {
 			m.Tallies = append(m.Tallies, d.voteTally(0))
 		}
+		m.TC = d.traceTrailer()
 		msg = m
 	case MsgOverloaded:
 		msg = &Overloaded{ReqID: d.u64(), ShardID: int32(d.u32()),

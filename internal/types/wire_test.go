@@ -108,7 +108,8 @@ func wireMessages(seed int64) []any {
 	st1r.Cert = w.cert()
 	st1r.CertMeta = w.meta()
 	return []any{
-		&ReadRequest{ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), Key: "balance", Ts: w.ts()},
+		&ReadRequest{ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), Key: "balance", Ts: w.ts(),
+			TC: TraceContext{TraceID: w.r.Uint64(), Sampled: true}},
 		&ReadReply{
 			ReqID: w.r.Uint64(), Key: "balance", ShardID: 2, ReplicaID: 4,
 			Committed: &CommittedRead{Value: w.bytes(64), WriterMeta: w.meta(), Cert: w.cert()},
@@ -116,22 +117,26 @@ func wireMessages(seed int64) []any {
 			Sig:       w.sig(true),
 		},
 		&AbortRead{ClientID: w.r.Uint64(), Ts: w.ts(), Keys: []string{"a", "b", "c"}},
-		&ST1Request{ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), Meta: w.meta(), Recovery: true},
+		&ST1Request{ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), Meta: w.meta(), Recovery: true,
+			TC: TraceContext{TraceID: w.r.Uint64(), Sampled: true}},
 		&st1r,
 		&ST2Request{
 			ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), TxID: w.txid(),
 			Meta: w.meta(), Decision: DecisionCommit,
 			Tallies: []VoteTally{w.tally(), w.tally()}, View: 3,
+			TC: TraceContext{TraceID: w.r.Uint64(), Sampled: true},
 		},
 		&st2r,
 		&WritebackRequest{
 			ClientID: w.r.Uint64(), TxID: w.txid(), Decision: DecisionAbort,
 			Cert: w.cert(), Meta: w.meta(),
+			TC: TraceContext{TraceID: w.r.Uint64(), Sampled: true},
 		},
 		&InvokeFB{
 			ReqID: w.r.Uint64(), ClientID: w.r.Uint64(), TxID: w.txid(),
 			Meta: w.meta(), ST2Rs: []ST2Reply{w.st2Reply()},
 			Decision: DecisionCommit, Tallies: []VoteTally{w.tally()},
+			TC: TraceContext{TraceID: w.r.Uint64(), Sampled: true},
 		},
 		&Overloaded{ReqID: w.r.Uint64(), ShardID: 2, ReplicaID: 5,
 			RetryAfterMicros: w.r.Uint64()},
@@ -259,6 +264,95 @@ func TestWireDecodeDepthBounded(t *testing.T) {
 	_, _, err = DecodeMessage(enc)
 	if err != ErrWireNesting {
 		t.Fatalf("want ErrWireNesting, got %v", err)
+	}
+}
+
+// traceCarriers returns one instance per message kind that carries a
+// TraceContext, stamped with tc.
+func traceCarriers(seed int64, tc TraceContext) []any {
+	w := newWireRand(seed)
+	return []any{
+		&ReadRequest{ReqID: w.r.Uint64(), ClientID: 3, Key: "k", Ts: w.ts(), TC: tc},
+		&ST1Request{ReqID: w.r.Uint64(), ClientID: 3, Meta: w.meta(), TC: tc},
+		&ST2Request{ReqID: w.r.Uint64(), ClientID: 3, TxID: w.txid(), Meta: w.meta(),
+			Decision: DecisionCommit, Tallies: []VoteTally{w.tally()}, TC: tc},
+		&WritebackRequest{ClientID: 3, TxID: w.txid(), Decision: DecisionCommit,
+			Cert: w.cert(), Meta: w.meta(), TC: tc},
+		&InvokeFB{ReqID: w.r.Uint64(), ClientID: 3, TxID: w.txid(), Meta: w.meta(), TC: tc},
+	}
+}
+
+// clearTC zeroes the carrier's trace context in place.
+func clearTC(msg any) {
+	switch m := msg.(type) {
+	case *ReadRequest:
+		m.TC = TraceContext{}
+	case *ST1Request:
+		m.TC = TraceContext{}
+	case *ST2Request:
+		m.TC = TraceContext{}
+	case *WritebackRequest:
+		m.TC = TraceContext{}
+	case *InvokeFB:
+		m.TC = TraceContext{}
+	}
+}
+
+// TestWireTraceContextRoundTrip proves a sampled trace context survives
+// encode/decode on every carrier message kind, field-exact.
+func TestWireTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xDEADBEEFCAFE0123, Sampled: true}
+	for _, msg := range traceCarriers(21, tc) {
+		enc, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		dec, rest, err := DecodeMessage(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%T: decode: %v (rest %d)", msg, err, len(rest))
+		}
+		if got := TraceContextOf(dec); got != tc {
+			t.Fatalf("%T: trace context %+v, want %+v", msg, got, tc)
+		}
+		re, err := EncodeMessage(dec)
+		if err != nil || !bytes.Equal(enc, re) {
+			t.Fatalf("%T: traced message re-encodes differently (%v)", msg, err)
+		}
+	}
+}
+
+// TestWireUnsampledTraceContextUnchangedBytes proves the common path pays
+// zero wire bytes for tracing: an unsampled context — even with a non-zero
+// trace id — encodes to exactly the bytes of a message with no context at
+// all, and decodes back to the zero context.
+func TestWireUnsampledTraceContextUnchangedBytes(t *testing.T) {
+	unsampled := traceCarriers(33, TraceContext{TraceID: 77, Sampled: false})
+	bare := traceCarriers(33, TraceContext{})
+	for i, msg := range unsampled {
+		encUnsampled, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		encBare, err := EncodeMessage(bare[i])
+		if err != nil {
+			t.Fatalf("%T: encode bare: %v", msg, err)
+		}
+		if !bytes.Equal(encUnsampled, encBare) {
+			t.Fatalf("%T: unsampled trace context changed the frame bytes", msg)
+		}
+		dec, rest, err := DecodeMessage(encUnsampled)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%T: decode: %v (rest %d)", msg, err, len(rest))
+		}
+		if got := TraceContextOf(dec); got != (TraceContext{}) {
+			t.Fatalf("%T: decoded context %+v, want zero", msg, got)
+		}
+		// The sampled form of the same message differs only by the trailer.
+		clearTC(msg)
+		reBare, _ := EncodeMessage(msg)
+		if !bytes.Equal(reBare, encBare) {
+			t.Fatalf("%T: clearing the context should reproduce the bare bytes", msg)
+		}
 	}
 }
 

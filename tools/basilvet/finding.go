@@ -11,7 +11,7 @@ import (
 
 // Finding is one reported invariant violation.
 type Finding struct {
-	Code string `json:"code"` // BV000..BV007
+	Code string `json:"code"` // BV000..BV008
 	File string `json:"file"`
 	Line int    `json:"line"`
 	Col  int    `json:"col"`
@@ -105,6 +105,7 @@ var passes = []pass{
 	metricsTax,           // BV005
 	metricDefinitionSite, // BV006
 	unboundedIntake,      // BV007
+	adminHandlerLocks,    // BV008
 }
 
 // analyze runs every pass on pkg and filters results through its

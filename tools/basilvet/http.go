@@ -1,0 +1,126 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// --- BV008 admin-handler isolation ---------------------------------------
+//
+// The observability plane must never contend with the protocol path: an
+// admin/debug HTTP handler that acquires Replica.mu turns every curl of
+// /stats or /traces into protocol-lock pressure — and a slow scrape into
+// a latency spike the tracer itself would then report. The discipline is
+// snapshot-then-serve: the lock lives with the state owner, behind an
+// accessor that copies under the mutex and returns; the handler marshals
+// the copy lock-free (metrics.Registry snapshots, trace.Tracer.Spans,
+// FlightRecorder.Snapshot are the house shapes).
+//
+// The pass finds handler-shaped functions — a FuncDecl or FuncLit whose
+// parameters are exactly (http.ResponseWriter, *http.Request), the shape
+// http.HandlerFunc and mux registrations demand — and flags any
+// Lock/RLock in the handler body whose mutex hangs off a value of a type
+// named Replica. Accessor methods that lock internally are deliberately
+// not followed: calling a snapshot accessor from a handler is the
+// approved pattern, so only locks the handler itself takes are findings.
+
+func adminHandlerLocks(pkg *Package) []Finding {
+	var findings []Finding
+	checkBody := func(name string, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, op, isLock := lockOp(pkg, call)
+			if !isLock || op != "lock" {
+				return true
+			}
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr) // lockOp matched, so this holds
+			if ownerIsReplica(pkg, sel.X) {
+				findings = append(findings, finding(pkg, "BV008", call,
+					"HTTP handler %s acquires Replica.mu — admin endpoints must snapshot through a Replica accessor and serve the copy, never hold protocol locks", name))
+			}
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isHandlerSig(pkg, fd.Type) {
+				checkBody(funcName(fd), fd.Body)
+				continue
+			}
+			// Handlers built inline: http.HandlerFunc(func(w, r) {...})
+			// returned from a constructor or registered on a mux.
+			name := funcName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && isHandlerSig(pkg, fl.Type) {
+					checkBody(name, fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// ownerIsReplica reports whether the mutex expression (the receiver of a
+// Lock call) hangs off a value whose type is named Replica — r.mu, or a
+// promoted r.Lock() through an embedded mutex. Every selector prefix is
+// checked so r.inner.mu-style nesting is caught too.
+func ownerIsReplica(pkg *Package, mux ast.Expr) bool {
+	for {
+		e := ast.Unparen(mux)
+		if _, tn := typePkgAndName(pkg, e); tn == "Replica" {
+			return true
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			mux = x.X
+		case *ast.IndexExpr:
+			mux = x.X
+		case *ast.StarExpr:
+			mux = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isHandlerSig matches the http.HandlerFunc parameter shape:
+// (http.ResponseWriter, *http.Request), no more, no fewer.
+func isHandlerSig(pkg *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var flat []ast.Expr
+	for _, fld := range ft.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flat = append(flat, fld.Type)
+		}
+	}
+	if len(flat) != 2 {
+		return false
+	}
+	p0, t0 := typeExprNamed(pkg, flat[0])
+	p1, t1 := typeExprNamed(pkg, flat[1])
+	return p0 == "http" && t0 == "ResponseWriter" && p1 == "http" && t1 == "Request"
+}
+
+// typeExprNamed resolves a parameter type expression to its named type
+// (pointers dereferenced), using the checker's record of the expression.
+func typeExprNamed(pkg *Package, e ast.Expr) (string, string) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", ""
+	}
+	return namedOf(tv.Type)
+}

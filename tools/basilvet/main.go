@@ -37,6 +37,11 @@
 //	       struct-held slice or map with no visible capacity check
 //	       (cap-ish identifier or len(...) comparison) in the same
 //	       function — a queue an untrusted peer can pump until OOM.
+//	BV008 admin-handler isolation — an HTTP handler (the
+//	       http.HandlerFunc parameter shape, declared or inline)
+//	       acquires Replica.mu; admin/debug endpoints must snapshot
+//	       through a Replica accessor and serve the copy, never hold
+//	       protocol locks while serving.
 //
 // Suppression: a finding line (or the line above it) may carry
 // `//nolint:basilvet — <justification>`. The justification is mandatory;

@@ -1,0 +1,76 @@
+// Package httpcases holds positive and negative fixture cases for the
+// BV008 admin-handler isolation pass: an HTTP handler must not acquire
+// Replica.mu — it snapshots through an accessor and serves the copy.
+package httpcases
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Replica stands in for the protocol-state owner whose mutex guards the
+// hot path.
+type Replica struct {
+	mu   sync.RWMutex
+	seen int
+}
+
+// Snapshot is the approved accessor shape: the lock lives with the state
+// owner, copies briefly, and returns before any serving happens.
+func (r *Replica) Snapshot() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seen
+}
+
+// debugHandler is the direct violation: a handler method holding the
+// protocol mutex across the response write.
+func (r *Replica) debugHandler(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock() // want BV008
+	defer r.mu.Unlock()
+	fmt.Fprintf(w, "%d", r.seen)
+}
+
+// StatsHandler shows the inline-literal shape constructors return; the
+// read lock is still protocol-lock pressure from the admin plane.
+func StatsHandler(r *Replica) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.mu.RLock() // want BV008
+		n := r.seen
+		r.mu.RUnlock()
+		fmt.Fprintf(w, "%d", n)
+	})
+}
+
+// goodHandler is snapshot-then-serve: the accessor locks internally, the
+// handler marshals the copy lock-free. Not a finding.
+func (r *Replica) goodHandler(w http.ResponseWriter, req *http.Request) {
+	if err := json.NewEncoder(w).Encode(r.Snapshot()); err != nil {
+		return
+	}
+}
+
+// handlerCache is a handler-owned mutex, not protocol state; locking it
+// while serving is the handler's own business. Not a finding.
+type handlerCache struct {
+	mu   sync.Mutex
+	last []byte
+}
+
+func (c *handlerCache) cachedHandler(w http.ResponseWriter, req *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := w.Write(c.last); err != nil {
+		return
+	}
+}
+
+// renderLocked is not handler-shaped (no ResponseWriter/Request params),
+// so its Replica.mu use is BV001/BV002 territory, not BV008.
+func renderLocked(r *Replica) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seen
+}
