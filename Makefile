@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check lint fmt vet build test test-race race bench doc-check linkcheck invariant-check
+.PHONY: check lint fmt vet build test test-race race bench scenarios doc-check linkcheck invariant-check
 
 check: fmt vet build doc-check linkcheck invariant-check test test-race
 
@@ -50,10 +50,12 @@ test:
 # goroutines, the wire codec, and the signature pool; the crash-restart
 # battery (race-scaled via the raceEnabled build tag) rides along so
 # durability regressions are caught locally, as does the tracer (a
-# lock-free span ring written by every component at once). Runs as part
-# of `make check`.
+# lock-free span ring written by every component at once), the seeded
+# fault-schedule determinism regression (internal/faults), and the
+# scenario harness's smoke storms (internal/scenario, race-scaled via
+# its Tuning). Runs as part of `make check`.
 test-race:
-	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/ ./internal/quorum/ ./internal/benchharness/ ./internal/types/ ./internal/cryptoutil/ ./internal/trace/
+	$(GO) test -race ./internal/transport/ ./internal/client/ ./internal/replica/ ./internal/store/ ./internal/wal/ ./internal/metrics/ ./internal/quorum/ ./internal/benchharness/ ./internal/types/ ./internal/cryptoutil/ ./internal/trace/ ./internal/faults/ ./internal/scenario/
 	$(GO) test -race ./basil/ -run 'TestCrashRestart|TestRestartReplica|TestOverloadSheds'
 
 # The transport and codec tests are required to pass under the race
@@ -74,6 +76,14 @@ race:
 # to BENCH_trace.json — per-stage p50/p99 from a fully sampled cluster
 # plus the unsampled-path overhead, which must stay within 2%; see
 # internal/benchharness/tracefig.go), and the wire-path benchmarks.
+# The production-scenario matrix (internal/scenario): open-loop load,
+# chaos storms (crash+WAL restart, slow disk, partition, equivocating
+# replica, spam) and explicit SLO verdicts, recorded to
+# BENCH_scenarios.json. Each scenario reproduces from its recorded seed
+# (`-seed N`). A seeded smoke subset runs inside test/test-race.
+scenarios:
+	$(GO) run ./cmd/basil-bench -experiment scenarios -json $(CURDIR)/BENCH_scenarios.json
+
 bench:
 	$(GO) test ./internal/store/ -run TestWriteParallelBench -parallelbench $(CURDIR)/BENCH_parallel.json -v -count=1
 	$(GO) test ./internal/wal/ -run TestWriteWALBench -walbench $(CURDIR)/BENCH_wal.json -v -count=1

@@ -83,6 +83,12 @@ type Options struct {
 	// inside one window share a single fsync. 0 uses the wal default
 	// (200µs).
 	WALFlushDelay time.Duration
+	// WALSyncDelay, if non-nil, is consulted before every WAL fsync on
+	// replica (shard, index) and the returned duration is slept out first
+	// — the scenario harness's slow-disk chaos injection (see
+	// wal.Options.SyncDelay). Must be safe for concurrent use; it is
+	// consulted from every replica's WAL flusher. Requires DataDir.
+	WALSyncDelay func(shard, index int32) time.Duration
 	// CheckpointEvery, if positive (with DataDir), periodically
 	// checkpoints each replica at a clock-derived GC watermark, bounding
 	// log and memory growth.
@@ -274,6 +280,9 @@ func (c *Cluster) replicaConfig(s, i int32, nodeNet transport.Network) replica.C
 	}
 	if c.opts.ReplicaByzantine != nil {
 		cfg.Byzantine = c.opts.ReplicaByzantine(s, i)
+	}
+	if d := c.opts.WALSyncDelay; d != nil {
+		cfg.WALSyncDelay = func() time.Duration { return d(s, i) }
 	}
 	return cfg
 }

@@ -17,12 +17,15 @@ import (
 	"time"
 
 	"repro/internal/benchharness"
+	"repro/internal/scenario"
 )
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, admission, trace, all")
+		"experiment id: fig4, fig5a, fig5b, fig5c, fig6a, fig6b, fig7a, fig7b, latency, rates, wire, parallel, durability, checkpoint, metrics, admission, trace, scenarios, all")
 	scaleName := flag.String("scale", "quick", "quick or full")
+	seed := flag.Int64("seed", 1, "scenario seed (scenarios experiment); every run reproduces from it")
+	jsonPath := flag.String("json", "", "write the scenarios experiment's verdicts to this JSON file")
 	flag.Parse()
 
 	var scale benchharness.Scale
@@ -134,6 +137,36 @@ func main() {
 		stages, over := benchharness.FigTrace(scale)
 		stages.Render(out)
 		over.Render(out)
+	}
+	if strings.EqualFold(*exp, "scenarios") {
+		// Not part of "all": the scenario matrix is a minute-long chaos
+		// suite with its own verdict output, run deliberately.
+		any = true
+		fmt.Printf("running scenarios (seed %d) ...\n", *seed)
+		results, rep, err := scenario.RunMatrix(scenario.Matrix(), *seed, scenario.DefaultTuning())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+			os.Exit(1)
+		}
+		t := scenario.FigScenarios(results)
+		t.Render(out)
+		for _, r := range results {
+			if !r.Verdict.Pass {
+				for _, c := range r.Verdict.Checks {
+					if !c.Ok {
+						fmt.Fprintf(out, "  FAIL %s/%s: %s (reproduce: -experiment scenarios -seed %d)\n",
+							r.Name, c.Name, c.Detail, r.Seed)
+					}
+				}
+			}
+		}
+		if *jsonPath != "" {
+			if err := scenario.WriteJSON(*jsonPath, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "scenarios: write %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

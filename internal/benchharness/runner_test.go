@@ -1,6 +1,8 @@
 package benchharness
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -135,4 +137,94 @@ func TestRunWithEquivForced(t *testing.T) {
 			t.Fatalf("correct clients starved entirely after %d attempts: %+v", attempt, r)
 		}
 	}
+}
+
+// peakFakeSystem is a deterministic System whose per-transaction service
+// time depends on the configured client count, shaping a non-monotonic
+// throughput curve for FindPeak tests. mu guards clients/service:
+// sessions are created from the harness while earlier sessions' commit
+// goroutines are already reading the service time.
+type peakFakeSystem struct {
+	serviceOf func(clients int) time.Duration
+	mu        sync.Mutex
+	clients   int
+	service   time.Duration
+}
+
+func (s *peakFakeSystem) Name() string        { return "peak-fake" }
+func (s *peakFakeSystem) Load(string, []byte) {}
+func (s *peakFakeSystem) Close()              {}
+func (s *peakFakeSystem) NewSession() Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clients++
+	s.service = s.serviceOf(s.clients)
+	return peakFakeSession{s}
+}
+
+func (s *peakFakeSystem) serviceTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.service
+}
+
+type peakFakeSession struct{ s *peakFakeSystem }
+
+func (f peakFakeSession) Begin() SysTx { return peakFakeTx{f.s} }
+
+type peakFakeTx struct{ s *peakFakeSystem }
+
+func (t peakFakeTx) Read(string) ([]byte, error) { return nil, nil }
+func (t peakFakeTx) Write(string, []byte)        {}
+func (t peakFakeTx) Abort()                      {}
+func (t peakFakeTx) Commit() error {
+	time.Sleep(t.s.serviceTime())
+	return nil
+}
+
+// TestFindPeakNonMonotonic pins FindPeak's contract on a curve that
+// rises then collapses: the peak must be the interior maximum, not the
+// first or last point of the sweep. The fake system's service time
+// balloons past 8 clients, modeling contention collapse.
+func TestFindPeakNonMonotonic(t *testing.T) {
+	makeSystem := func() System {
+		return &peakFakeSystem{serviceOf: func(clients int) time.Duration {
+			switch {
+			case clients <= 4:
+				return 2 * time.Millisecond // up to ~500/s/client region
+			case clients <= 8:
+				return 3 * time.Millisecond
+			default:
+				return 40 * time.Millisecond // collapse: 16 clients -> ~400/s total
+			}
+		}}
+	}
+	gen := plainWriteGen{}
+	cfg := RunConfig{Warmup: 20 * time.Millisecond, Measure: 250 * time.Millisecond, Seed: 3}
+	best, all := FindPeak(makeSystem, gen, []int{4, 8, 16}, cfg)
+	if len(all) != 3 {
+		t.Fatalf("sweep ran %d points, want 3", len(all))
+	}
+	if best.Clients != 8 {
+		for _, r := range all {
+			t.Logf("clients=%d tput=%.0f", r.Clients, r.Throughput)
+		}
+		t.Fatalf("peak found at %d clients, want the interior maximum at 8", best.Clients)
+	}
+	if best.Throughput < all[0].Throughput || best.Throughput < all[2].Throughput {
+		t.Fatalf("reported peak %.0f below a swept point (%.0f, %.0f)",
+			best.Throughput, all[0].Throughput, all[2].Throughput)
+	}
+}
+
+// plainWriteGen is a no-op workload for fake-system tests.
+type plainWriteGen struct{}
+
+func (plainWriteGen) Name() string                  { return "plain-write" }
+func (plainWriteGen) Populate(func(string, []byte)) {}
+func (plainWriteGen) Next(rng *rand.Rand) workload.TxnFunc {
+	return workload.TxnFunc{Name: "w", Body: func(tx workload.Tx) error {
+		tx.Write("k", nil)
+		return nil
+	}}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/basil"
 	"repro/internal/tapir"
 	"repro/internal/txbase"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -90,6 +91,16 @@ func (s *BasilSystem) Recoveries() uint64 {
 	return n
 }
 
+// Overloads sums the explicit Overloaded (load-shed) replies the
+// sessions consumed — the scenario harness's admission accounting.
+func (s *BasilSystem) Overloads() uint64 {
+	var n uint64
+	for _, c := range s.clients {
+		n += c.Stats().Overloads.Load()
+	}
+	return n
+}
+
 type basilSession struct{ c *basil.Client }
 
 func (s basilSession) Begin() SysTx { return basilTx{t: s.c.Begin()} }
@@ -100,6 +111,10 @@ func (t basilTx) Read(k string) ([]byte, error) { return t.t.Read(k) }
 func (t basilTx) Write(k string, v []byte)      { t.t.Write(k, v) }
 func (t basilTx) Commit() error                 { return t.t.Commit() }
 func (t basilTx) Abort()                        { t.t.Abort() }
+
+// Meta exposes the transaction's metadata for serializability auditing;
+// internal/scenario discovers it by interface assertion on SysTx.
+func (t basilTx) Meta() *types.TxMeta { return t.t.Meta() }
 
 // --- TAPIR adapter ---
 

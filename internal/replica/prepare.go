@@ -281,14 +281,27 @@ func (r *Replica) sendVoteLocked(to transport.Addr, reqID uint64, t *txState) {
 		r.addWaiterLocked(&t.voteWaiters, to, reqID)
 		return
 	}
+	vote, conflict, conflictMeta := t.vote, t.voteConflict, t.conflictMeta
+	if eq, ok := r.cfg.Byzantine.(VoteEquivocator); ok {
+		// Per-recipient equivocation: the stored (and logged) vote stays
+		// honest; only this recipient's reply is corrupted. A flipped
+		// vote drops the conflict evidence — the equivocator has no
+		// proof for the vote it invents.
+		if v := eq.EquivocateVote(t.id, to, vote); v != vote {
+			if v == types.VoteNone {
+				return // suppressed for this recipient
+			}
+			vote, conflict, conflictMeta = v, nil, nil
+		}
+	}
 	reply := &types.ST1Reply{
 		ReqID:        reqID,
 		TxID:         t.id,
 		ShardID:      r.cfg.Shard,
 		ReplicaID:    r.cfg.Index,
-		Vote:         t.vote,
-		Conflict:     t.voteConflict,
-		ConflictMeta: t.conflictMeta,
+		Vote:         vote,
+		Conflict:     conflict,
+		ConflictMeta: conflictMeta,
 		BlockedBy:    t.blockedBy,
 		RPKind:       types.RPVote,
 	}

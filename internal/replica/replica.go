@@ -71,6 +71,11 @@ type Config struct {
 	// WALFlushDelay is the WAL group-commit window: concurrent appenders
 	// inside one window share a single fsync. 0 uses the wal default.
 	WALFlushDelay time.Duration
+	// WALSyncDelay, if non-nil, is consulted before every WAL fsync and
+	// the returned duration slept out first — the chaos harness's
+	// slow-disk injection (see wal.Options.SyncDelay). Must be safe for
+	// concurrent use. Nil injects nothing.
+	WALSyncDelay func() time.Duration
 	// CheckpointEvery, if positive, periodically garbage-collects store
 	// history and finished replica protocol state below a clock-derived
 	// watermark (now − 2δ) and — when DataDir is set — writes a durable
@@ -137,6 +142,22 @@ type ByzantineStrategy interface {
 	MutateVote(id types.TxID, vote types.Vote) types.Vote
 	// DropRead reports whether to ignore a read request.
 	DropRead(key string) bool
+}
+
+// VoteEquivocator is an optional ByzantineStrategy extension: a strategy
+// implementing it is consulted per *recipient* when a stored ST1 vote is
+// about to be signed and sent, and may return a different vote for
+// different clients — the replica-side twin of the equivocating client in
+// internal/client/faulty.go. The stored vote (and the WAL promise behind
+// it) is never changed; only the wire reply is corrupted, exactly what a
+// Byzantine signer can do. Conflict evidence is stripped from a flipped
+// vote, since the equivocator cannot forge a proof for the vote it
+// invents.
+type VoteEquivocator interface {
+	// EquivocateVote returns the vote to send to this recipient.
+	// Returning the input vote sends the honest reply; VoteNone
+	// suppresses it.
+	EquivocateVote(id types.TxID, to transport.Addr, vote types.Vote) types.Vote
 }
 
 // txState is the replica's per-transaction protocol state beyond the
@@ -359,6 +380,7 @@ func Restore(cfg Config, dir string) (*Replica, error) {
 		l, recov, err := wal.Open(wal.Options{
 			Dir:           dir,
 			FlushDelay:    cfg.WALFlushDelay,
+			SyncDelay:     cfg.WALSyncDelay,
 			AppendLatency: appendLat,
 			SyncLatency:   syncLat,
 			PruneFailures: pruneFails,

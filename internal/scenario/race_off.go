@@ -1,0 +1,9 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector instruments this build.
+// DefaultTuning scales arrival rates and latency SLOs by it: the
+// instrumented crypto path is an order of magnitude slower, which is a
+// property of the detector, not of the system under test.
+const raceEnabled = false

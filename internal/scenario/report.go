@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/benchharness"
+)
+
+// JSONScenario is one scenario's row in BENCH_scenarios.json.
+type JSONScenario struct {
+	Name    string  `json:"name"`
+	Desc    string  `json:"desc"`
+	Seed    int64   `json:"seed"`
+	Pass    bool    `json:"pass"`
+	Checks  []Check `json:"checks"`
+	Offered uint64  `json:"offered"`
+	Commits uint64  `json:"commits"`
+	Dropped uint64  `json:"dropped"`
+	Starved uint64  `json:"starved"`
+	Unknown uint64  `json:"unknown"`
+
+	ThroughputTxs float64  `json:"throughput_txs"`
+	CalmP99Ms     float64  `json:"calm_p99_ms"`
+	StormP99Ms    float64  `json:"storm_p99_ms"`
+	RecoveryMs    float64  `json:"recovery_ms"`
+	FastPathShare float64  `json:"fast_path_share"`
+	Sheds         uint64   `json:"sheds"`
+	Overloads     uint64   `json:"overloads"`
+	SpamSent      uint64   `json:"spam_sent"`
+	Events        []string `json:"events,omitempty"`
+}
+
+// JSONReport is the BENCH_scenarios.json schema (documented in
+// docs/benchmarking.md).
+type JSONReport struct {
+	Experiment string         `json:"experiment"`
+	Seed       int64          `json:"seed"`
+	Race       bool           `json:"race"`
+	Scenarios  []JSONScenario `json:"scenarios"`
+}
+
+// toJSON flattens a Result into its report row.
+func toJSON(r Result) JSONScenario {
+	return JSONScenario{
+		Name: r.Name, Desc: r.Desc, Seed: r.Seed,
+		Pass: r.Verdict.Pass, Checks: r.Verdict.Checks,
+		Offered: r.Open.Offered, Commits: r.Open.Commits,
+		Dropped: r.Open.Dropped, Starved: r.Open.Starved, Unknown: r.Open.Unknowns,
+		ThroughputTxs: r.ThroughputTxs,
+		CalmP99Ms:     r.Open.CalmP99Ms, StormP99Ms: r.Open.StormP99Ms,
+		RecoveryMs: r.RecoveryMs, FastPathShare: r.FastPathShare,
+		Sheds: r.Sheds, Overloads: r.Overloads, SpamSent: r.SpamSent,
+		Events: r.Events,
+	}
+}
+
+// RunMatrix runs every scenario in scs with the given seed and tuning
+// and returns the results plus the assembled report.
+func RunMatrix(scs []Scenario, seed int64, tn Tuning) ([]Result, JSONReport, error) {
+	rep := JSONReport{Experiment: "scenarios", Seed: seed, Race: raceEnabled}
+	var results []Result
+	for _, sc := range scs {
+		r, err := RunScenario(sc, seed, tn)
+		if err != nil {
+			return results, rep, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		results = append(results, r)
+		rep.Scenarios = append(rep.Scenarios, toJSON(r))
+	}
+	return results, rep, nil
+}
+
+// WriteJSON writes the report.
+func WriteJSON(path string, rep JSONReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FigScenarios renders the scenario verdicts as a bench table: one row
+// per scenario with its verdict and the headline numbers each SLO was
+// judged on.
+func FigScenarios(results []Result) benchharness.Table {
+	t := benchharness.Table{
+		Title:  "Production scenarios: open-loop load, chaos storms, SLO verdicts",
+		Header: []string{"scenario", "verdict", "offered", "commits", "tput (tx/s)", "calm p99 (ms)", "storm p99 (ms)", "recover (ms)", "sheds"},
+	}
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Verdict.Pass {
+			verdict = "FAIL"
+			for _, c := range r.Verdict.Checks {
+				if !c.Ok {
+					verdict = "FAIL:" + c.Name
+					break
+				}
+			}
+		}
+		recover := fmt.Sprintf("%.0f", r.RecoveryMs)
+		if r.RecoveryMs < 0 {
+			recover = "never"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name, verdict,
+			fmt.Sprint(r.Open.Offered), fmt.Sprint(r.Open.Commits),
+			fmt.Sprintf("%.1f", r.ThroughputTxs),
+			fmt.Sprintf("%.1f", r.Open.CalmP99Ms),
+			fmt.Sprintf("%.1f", r.Open.StormP99Ms),
+			recover,
+			fmt.Sprint(r.Sheds),
+		})
+	}
+	return t
+}

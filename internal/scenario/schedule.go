@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/basil"
+	"repro/internal/faults"
+	"repro/internal/transport"
+)
+
+// Event is one timed chaos action, fired At after load start. Do runs on
+// the schedule goroutine against the live Runtime; returning an error
+// records it and fails the run's "chaos schedule applied" check rather
+// than panicking mid-storm.
+type Event struct {
+	At   time.Duration
+	Name string
+	Do   func(rt *Runtime) error
+}
+
+// Runtime is the live cluster plus its chaos injectors, handed to every
+// scheduled event. The injectors are wired at cluster construction
+// (partition policy on the transport, fsync delay into every WAL, the
+// equivocation strategy onto its replica) and armed or released by
+// events while load flows.
+type Runtime struct {
+	Cluster *basil.Cluster
+	Chaos   *faults.Chaos
+	Disk    *faults.DiskChaos
+	Equiv   *faults.EquivocatingReplica
+	Seed    int64
+
+	// mu guards the event log; events fire from the schedule goroutine
+	// while RunScenario's main goroutine may be reading nothing yet, but
+	// the log is also appended by spammer shutdown and read post-join.
+	mu        sync.Mutex
+	eventLog  []string
+	eventErrs []string
+}
+
+// logEvent records an applied event (and its error, if any).
+func (rt *Runtime) logEvent(name string, at time.Duration, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err != nil {
+		rt.eventErrs = append(rt.eventErrs, fmt.Sprintf("%s@%s: %v", name, at, err))
+		return
+	}
+	rt.eventLog = append(rt.eventLog, fmt.Sprintf("%s@%s", name, at))
+}
+
+// events returns the applied-event log and any event errors.
+func (rt *Runtime) events() (applied, errs []string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]string(nil), rt.eventLog...), append([]string(nil), rt.eventErrs...)
+}
+
+// runSchedule fires events at their offsets from start until the list is
+// done or stop closes. The goroutine is owned by RunScenario: wg-tracked
+// and stop-bound, joined before the verdict is computed.
+func runSchedule(rt *Runtime, events []Event, start time.Time, stop <-chan struct{}, wg *sync.WaitGroup) {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range evs {
+			if wait := time.Until(start.Add(ev.At)); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-stop:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			rt.logEvent(ev.Name, ev.At, ev.Do(rt))
+		}
+	}()
+}
+
+// --- canonical event constructors used by the matrix ---
+
+// KillReplica crashes replica (shard, index): its goroutines stop, its
+// in-memory state is gone, and only its WAL survives.
+func KillReplica(at time.Duration, shard, index int) Event {
+	return Event{At: at, Name: fmt.Sprintf("kill-replica-%d.%d", shard, index), Do: func(rt *Runtime) error {
+		rt.Cluster.Replica(shard, index).Close()
+		return nil
+	}}
+}
+
+// RestartReplica rebuilds the crashed replica from its write-ahead log
+// and rejoins it to the transport.
+func RestartReplica(at time.Duration, shard, index int) Event {
+	return Event{At: at, Name: fmt.Sprintf("restart-replica-%d.%d", shard, index), Do: func(rt *Runtime) error {
+		_, err := rt.Cluster.RestartReplica(shard, index)
+		return err
+	}}
+}
+
+// SlowDisk injects delay into every targeted replica's WAL fsyncs (no
+// targets = all replicas).
+func SlowDisk(at time.Duration, delay time.Duration, targets ...[2]int32) Event {
+	return Event{At: at, Name: fmt.Sprintf("slow-disk-%s", delay), Do: func(rt *Runtime) error {
+		rt.Disk.Arm(delay, targets...)
+		return nil
+	}}
+}
+
+// FastDisk releases the fsync delay.
+func FastDisk(at time.Duration) Event {
+	return Event{At: at, Name: "fast-disk", Do: func(rt *Runtime) error {
+		rt.Disk.Disarm()
+		return nil
+	}}
+}
+
+// Partition isolates replica (shard, index) from everyone else. Note the
+// quorum arithmetic for n=5f+1=6: isolating exactly one replica kills
+// the fast path (needs all 6) but leaves both the commit quorum (4) and
+// the ST2 logging quorum (5) reachable; isolating two would stall every
+// commit on the logging quorum, which is an outage, not a degradation.
+func Partition(at time.Duration, shard, index int) Event {
+	return Event{At: at, Name: fmt.Sprintf("partition-%d.%d", shard, index), Do: func(rt *Runtime) error {
+		rt.Chaos.Isolate(transport.ReplicaAddr(int32(shard), int32(index)))
+		return nil
+	}}
+}
+
+// Heal clears the partition.
+func Heal(at time.Duration) Event {
+	return Event{At: at, Name: "heal", Do: func(rt *Runtime) error {
+		rt.Chaos.Heal()
+		return nil
+	}}
+}
+
+// ArmEquivocation starts the installed replica-side equivocator sending
+// conflicting ST1 votes per recipient; DisarmEquivocation stops it.
+func ArmEquivocation(at time.Duration) Event {
+	return Event{At: at, Name: "arm-equivocation", Do: func(rt *Runtime) error {
+		if rt.Equiv == nil {
+			return fmt.Errorf("scenario has no equivocating replica installed")
+		}
+		rt.Equiv.Arm(true)
+		return nil
+	}}
+}
+
+// DisarmEquivocation returns the equivocator to honest behavior.
+func DisarmEquivocation(at time.Duration) Event {
+	return Event{At: at, Name: "disarm-equivocation", Do: func(rt *Runtime) error {
+		if rt.Equiv == nil {
+			return fmt.Errorf("scenario has no equivocating replica installed")
+		}
+		rt.Equiv.Arm(false)
+		return nil
+	}}
+}

@@ -83,6 +83,15 @@ type Options struct {
 	// NoSync skips fsync entirely (benchmark baselines only; a crash may
 	// lose acknowledged records).
 	NoSync bool
+	// SyncDelay, if non-nil, is consulted before every group-commit fsync
+	// the flusher issues and the returned duration is slept out first —
+	// the chaos harness's slow-disk injection (internal/scenario). The
+	// sleep happens outside the log mutex, exactly where a slow device
+	// would stall: appenders in the window keep coalescing behind it, so
+	// an injected delay degrades append latency the same way a real
+	// degraded disk does. Must be safe for concurrent use; a zero or
+	// negative return injects nothing.
+	SyncDelay func() time.Duration
 
 	// AppendLatency, if non-nil, records each successful Append's total
 	// latency (write + group-commit wait + fsync). SyncLatency records
@@ -287,6 +296,11 @@ func (l *Log) flusher() {
 			var syncStart time.Time
 			if l.opts.SyncLatency != nil {
 				syncStart = time.Now()
+			}
+			if l.opts.SyncDelay != nil {
+				if d := l.opts.SyncDelay(); d > 0 {
+					time.Sleep(d)
+				}
 			}
 			err = f.Sync()
 			if l.opts.SyncLatency != nil {

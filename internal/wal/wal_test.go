@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -490,5 +491,46 @@ func TestWALLatencyHistogramsRecordWhenEnabled(t *testing.T) {
 		if mean := h.SnapshotHist().MeanNanos(); mean > float64(time.Minute) {
 			t.Fatalf("histogram mean %v ns is implausible — clock read and observation gates disagree", mean)
 		}
+	}
+}
+
+// TestWALSyncDelayInjection pins the slow-disk hook: an injected fsync
+// delay must show up in append latency (the appender blocks behind the
+// slowed group commit) while leaving the log's contents and durability
+// accounting untouched. The scenario harness's slow-disk chaos storms
+// rely on exactly this seam.
+func TestWALSyncDelayInjection(t *testing.T) {
+	dir := t.TempDir()
+	const delay = 5 * time.Millisecond
+	var calls atomic.Int64
+	l, _ := openT(t, dir, Options{
+		SyncDelay: func() time.Duration {
+			calls.Add(1)
+			return delay
+		},
+	})
+	const n = 8
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := l.Append(recN(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if calls.Load() == 0 {
+		t.Fatal("SyncDelay was never consulted")
+	}
+	// Every append waited on a delayed sync; sequential appends therefore
+	// cannot finish faster than one injected delay each (coalescing can
+	// only merge concurrent appends, and these are serial).
+	if min := time.Duration(n) * delay; elapsed < min {
+		t.Fatalf("%d serial appends took %v, want >= %v with a %v injected sync delay", n, elapsed, min, delay)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if len(rec.Records) != n {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), n)
 	}
 }

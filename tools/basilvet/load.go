@@ -163,7 +163,11 @@ func (l *loader) importPathFor(abs string) string {
 	return l.modPath + "/" + filepath.ToSlash(rel)
 }
 
-// parseDir parses every non-test .go file in dir (not recursive).
+// parseDir parses every non-test .go file in dir (not recursive) that
+// matches the default build context: //go:build constraints and filename
+// suffixes are honored, so of a race_on.go/race_off.go tag pair only the
+// !race side is loaded (the analyzer runs uninstrumented) and the pair's
+// shared const does not look redeclared.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -173,6 +177,9 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	for _, e := range entries {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, merr := build.Default.MatchFile(dir, n); merr != nil || !ok {
 			continue
 		}
 		names = append(names, n)

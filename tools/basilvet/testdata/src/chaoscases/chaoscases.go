@@ -1,0 +1,74 @@
+// Package chaoscases is a basilvet fixture for BV004 goroutine hygiene
+// in scenario-harness shapes: a chaos runner that owns a cluster (and
+// therefore has Close) must launch its storm-schedule, dispatcher and
+// spammer goroutines joinably — wg-tracked or bound to a stop signal —
+// or a scenario that ends mid-storm leaks goroutines into the next one.
+package chaoscases
+
+import (
+	"sync"
+	"time"
+)
+
+type chaosRunner struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	nArm int
+}
+
+// Close makes chaosRunner a closer type: its goroutines are in scope.
+func (r *chaosRunner) Close() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// --- positives ---
+
+// startScheduleLeaky fires chaos events on a timer loop with no stop
+// binding and no WaitGroup: Close cannot join or drain it, and the
+// schedule keeps arming faults into the next scenario's cluster.
+func (r *chaosRunner) startScheduleLeaky() {
+	go func() { // want BV004
+		for {
+			time.Sleep(time.Millisecond)
+			r.nArm++
+		}
+	}()
+}
+
+// startSpammerLeaky launches an unbounded spam loop by method value.
+func (r *chaosRunner) startSpammerLeaky() {
+	go r.spam() // want BV004
+}
+
+func (r *chaosRunner) spam() {
+	for i := 0; i < 1_000_000; i++ {
+		r.nArm++
+	}
+}
+
+// --- negatives ---
+
+// startScheduleTracked is the harness's real shape: wg.Add before the
+// go statement, so Close joins the schedule before the verdict runs.
+func (r *chaosRunner) startScheduleTracked() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.nArm++
+	}()
+}
+
+// startScheduleStopBound selects on the stop channel every iteration.
+func (r *chaosRunner) startScheduleStopBound() {
+	go func() {
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(time.Millisecond):
+				r.nArm++
+			}
+		}
+	}()
+}

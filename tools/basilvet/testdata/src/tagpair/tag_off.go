@@ -1,0 +1,13 @@
+//go:build !race
+
+// Package tagpair is a basilvet loader fixture: a race_on.go/race_off.go
+// style build-tag pair declaring the same const. The loader must honor
+// build constraints and parse only the !race side — loading both made the
+// const look redeclared and failed the whole analysis of any package that
+// uses the raceEnabled pattern outside _test files.
+package tagpair
+
+const tagRaceEnabled = false
+
+// Use keeps the const referenced so the fixture stays vet-clean.
+func Use() bool { return tagRaceEnabled }

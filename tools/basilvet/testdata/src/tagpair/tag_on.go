@@ -1,0 +1,5 @@
+//go:build race
+
+package tagpair
+
+const tagRaceEnabled = true
